@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Each benchmark wraps one experiment from :mod:`repro.experiments` (the E1–E8
+index of DESIGN.md §4) with pytest-benchmark, runs it exactly once
+(experiments are seconds-long, deterministic table builders — not
+micro-benchmarks) and prints the resulting table so that
+``pytest benchmarks/ --benchmark-only -s`` regenerates every row recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture
+def run_experiment_once(benchmark):
+    """A helper that runs an experiment exactly once under pytest-benchmark.
+
+    Experiments are seconds-long deterministic table builders, so one round is
+    the meaningful measurement; the resulting table is printed so the bench
+    output contains the same rows EXPERIMENTS.md records.
+    """
+
+    def _run(runner, **params):
+        result = benchmark.pedantic(lambda: runner(**params), rounds=1, iterations=1)
+        print()
+        print(result.to_text())
+        return result
+
+    return _run

@@ -1,0 +1,13 @@
+"""E3 benchmark — always-correctness under weakly fair schedulers (Theorem 3.7).
+
+Regenerates the correctness table: exhaustive model checking on small inputs
+plus empirical sweeps under four weakly fair schedulers, including the
+adaptive greedy-stall adversary.
+"""
+
+from repro.experiments.e3_correctness import run as run_e3
+
+
+def test_bench_e3_correctness(run_experiment_once):
+    result = run_experiment_once(run_e3, num_agents=18, num_colors=4, trials=6, seed=11)
+    assert all(result.column("correct"))

@@ -1,0 +1,16 @@
+"""E5 benchmark — energy relaxation to the predicted minimum.
+
+Regenerates the energy table: initial energy ``n·k``, the predicted minimum
+from the greedy-set construction, the final energies of the discrete engine,
+the Gillespie SSA and the sum-rule ablation, plus monotonicity of the paper's
+rule.
+"""
+
+from repro.experiments.e5_energy import run as run_e5
+
+
+def test_bench_e5_energy(run_experiment_once):
+    result = run_experiment_once(run_e5, populations=(10, 20, 40), ks=(4, 6), seed=41)
+    assert result.column("final (paper rule)") == result.column("predicted minimum")
+    assert result.column("final (Gillespie SSA)") == result.column("predicted minimum")
+    assert all(result.column("monotone"))

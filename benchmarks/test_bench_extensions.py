@@ -1,0 +1,17 @@
+"""E7 benchmark — the §4 extensions: tie report, color ordering, unordered Circles.
+
+Regenerates the extensions table: announced state bounds (O(k^3)/O(k^2)/O(k^4))
+and the empirical behaviour of the sketch-level implementations.
+"""
+
+from repro.experiments.e7_extensions import run as run_e7
+
+
+def test_bench_e7_extensions(run_experiment_once):
+    result = run_experiment_once(run_e7, ks=(3, 4), num_agents=20, trials=4, seed=83)
+    ks = result.column("k")
+    assert result.column("tie-report states (2k^3)") == [2 * k**3 for k in ks]
+    assert result.column("ordering states (2k^2)") == [2 * k**2 for k in ks]
+    assert result.column("unordered states (2k^4)") == [2 * k**4 for k in ks]
+    # On unique-majority inputs the tie layer must be exactly as correct as Circles.
+    assert all(rate == 1.0 for rate in result.column("tie-report correct (unique majority)"))

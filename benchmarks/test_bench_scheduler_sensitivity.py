@@ -1,0 +1,18 @@
+"""E8 benchmark — scheduler sensitivity: weakly fair vs. unfair schedules.
+
+Regenerates the negative-control table showing that Circles is correct under
+every weakly fair scheduler and (necessarily) incorrect under an isolating,
+unfair scheduler — demonstrating the role of Definition 1.2.
+"""
+
+from repro.experiments.e8_scheduler_sensitivity import run as run_e8
+
+
+def test_bench_e8_scheduler_sensitivity(run_experiment_once):
+    result = run_experiment_once(run_e8, num_agents=15, trials=4, seed=97)
+    rows = {row[0]: row for row in result.rows}
+    for fair in ("uniform-random", "round-robin", "greedy-stall"):
+        assert rows[fair][-1] == "4/4"
+        assert rows[fair][1] is True
+    assert rows["isolation"][-1] == "0/4"
+    assert rows["isolation"][1] is False

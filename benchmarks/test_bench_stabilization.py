@@ -1,0 +1,13 @@
+"""E2 benchmark — stabilization: finite ket exchanges, strictly decreasing potential.
+
+Regenerates the Theorem 3.4 table over a sweep of population sizes and color
+counts under the uniform random scheduler.
+"""
+
+from repro.experiments.e2_stabilization import run as run_e2
+
+
+def test_bench_e2_stabilization(run_experiment_once):
+    result = run_experiment_once(run_e2, populations=(10, 20, 40, 80), ks=(3, 5, 8), seed=7)
+    assert all(result.column("g(C) strictly decreasing"))
+    assert all(steps is not None for steps in result.column("interactions to stability"))

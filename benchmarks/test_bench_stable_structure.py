@@ -1,0 +1,17 @@
+"""E4 benchmark — stable configurations match the greedy-set prediction.
+
+Regenerates the Lemma 3.3 / Lemma 3.6 table: the bra/ket conservation law and
+the equality between the simulated stable multiset and ``∪_p f(G_p)``.
+"""
+
+from repro.experiments.e4_stable_structure import run as run_e4
+
+
+def test_bench_e4_stable_structure(run_experiment_once):
+    result = run_experiment_once(run_e4, populations=(8, 16, 32), ks=(3, 5, 7), trials=5, seed=23)
+    trials = 5
+    assert all(value == f"{trials}/{trials}" for value in result.column("bra/ket invariant held"))
+    assert all(
+        value == f"{trials}/{trials}"
+        for value in result.column("stable multiset = union of f(G_p)")
+    )

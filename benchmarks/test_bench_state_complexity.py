@@ -1,0 +1,20 @@
+"""E1 benchmark — state complexity of Circles vs. the paper's reference bounds.
+
+Regenerates the state-complexity table (Circles ``k^3`` vs. the ``Ω(k^2)``
+lower bound, the ``O(k^7)`` prior upper bound and this repository's naive
+always-correct comparator) for ``k = 2..8``.
+"""
+
+from repro.experiments.e1_state_complexity import run as run_e1
+
+
+def test_bench_e1_state_complexity(run_experiment_once):
+    result = run_experiment_once(
+        run_e1, ks=(2, 3, 4, 5, 6, 7, 8), reachable_num_agents=24, reachable_steps=4_000
+    )
+    circles = result.column("circles (declared)")
+    lower = result.column("lower bound k^2")
+    prior = result.column("prior upper bound k^7")
+    # The paper's headline ordering must hold at every k.
+    assert all(low <= mid <= high for low, mid, high in zip(lower, circles, prior))
+    assert circles == [k**3 for k in (2, 3, 4, 5, 6, 7, 8)]

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been pip-installed
+(useful on offline machines where editable installs are unavailable); an
+installed ``repro`` package, if present, still takes precedence only if it is
+the same source tree thanks to the editable install pointing here.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Sensor-network scenario: plurality sensing with tiny, memory-limited nodes.
+
+The original motivation for population protocols (Angluin et al. 2006, cited
+in the paper's introduction) is a flock of passively mobile sensors with a few
+bits of memory each.  Here a swarm of temperature sensors each quantizes its
+reading into one of ``k`` buckets and the network must agree on the *modal*
+bucket — a relative-majority problem.
+
+The example compares the memory footprint (state count, hence bits per agent)
+and the behaviour of three protocols on the same skewed readings:
+
+* Circles (always correct, k^3 states — the paper's contribution),
+* the naive cancellation heuristic (2k states, can be wrong),
+* the tournament comparator (always correct, but its state count explodes).
+
+Run with:  python examples/sensor_network.py
+"""
+
+import math
+
+from repro import CirclesProtocol, predicted_majority, run_circles, run_protocol
+from repro.protocols.cancellation_plurality import CancellationPluralityProtocol
+from repro.protocols.tournament_plurality import TournamentPluralityProtocol
+from repro.simulation.convergence import OutputConsensus
+from repro.utils.tables import format_table
+from repro.workloads.distributions import zipf_colors
+
+NUM_SENSORS = 60
+NUM_BUCKETS = 5
+SEED = 7
+
+
+def bits(states: int) -> int:
+    """Memory needed per agent, in bits."""
+    return max(1, math.ceil(math.log2(states)))
+
+
+def main() -> None:
+    readings = zipf_colors(NUM_SENSORS, NUM_BUCKETS, exponent=1.4, seed=SEED)
+    modal_bucket = predicted_majority(readings)
+    print(f"{NUM_SENSORS} sensors, {NUM_BUCKETS} buckets; true modal bucket: {modal_bucket}")
+    print(f"bucket histogram: { {b: readings.count(b) for b in range(NUM_BUCKETS)} }")
+    print()
+
+    rows = []
+
+    circles = CirclesProtocol(NUM_BUCKETS)
+    outcome = run_circles(
+        readings, num_colors=NUM_BUCKETS, seed=SEED, check_interval=NUM_SENSORS
+    )
+    rows.append(
+        (
+            circles.name,
+            circles.state_count(),
+            bits(circles.state_count()),
+            outcome.steps,
+            "yes" if outcome.correct else "no",
+        )
+    )
+
+    for protocol in (
+        CancellationPluralityProtocol(NUM_BUCKETS),
+        TournamentPluralityProtocol(NUM_BUCKETS),
+    ):
+        outcome = run_protocol(
+            protocol,
+            readings,
+            criterion=OutputConsensus(),
+            seed=SEED,
+            max_steps=200 * NUM_SENSORS * NUM_SENSORS,
+            check_interval=NUM_SENSORS,
+        )
+        rows.append(
+            (
+                protocol.name,
+                protocol.state_count(),
+                bits(protocol.state_count()),
+                outcome.steps,
+                "yes" if outcome.correct else "no",
+            )
+        )
+
+    print(
+        format_table(
+            ["protocol", "states per sensor", "bits per sensor", "interactions", "correct"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Circles answers correctly with k^3 states per sensor — the memory budget that\n"
+        "motivates the paper — while the naive heuristic is cheaper but unreliable and the\n"
+        "naive always-correct comparator needs orders of magnitude more memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools/pip cannot do
+PEP 660 editable installs (e.g. offline boxes without the ``wheel`` package),
+via the legacy ``--no-use-pep517`` code path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of the Circles population protocol: relative majority "
+        "with a cubic number of states (PODC 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,36 @@
+"""Analysis tools: state complexity, exhaustive verification and statistics.
+
+* :mod:`repro.analysis.state_complexity` — declared and reachable state
+  counts of every protocol (experiment E1).
+* :mod:`repro.analysis.reachability` — exhaustive exploration of the
+  configuration space for small populations; the basis of the always-
+  correctness model checking (experiment E3).
+* :mod:`repro.analysis.verification` — the correctness verdicts built on
+  reachability: does every fair execution stabilize to the right output?
+* :mod:`repro.analysis.statistics` — the small statistics toolkit
+  (means, quantiles, confidence intervals) used by the benchmark reports.
+"""
+
+from repro.analysis.state_complexity import (
+    StateComplexityReport,
+    declared_state_count,
+    reachable_states,
+    state_complexity_report,
+)
+from repro.analysis.reachability import ReachabilityResult, explore_configurations
+from repro.analysis.verification import VerificationResult, verify_always_correct
+from repro.analysis.statistics import SummaryStats, confidence_interval, summarize
+
+__all__ = [
+    "StateComplexityReport",
+    "declared_state_count",
+    "reachable_states",
+    "state_complexity_report",
+    "ReachabilityResult",
+    "explore_configurations",
+    "VerificationResult",
+    "verify_always_correct",
+    "SummaryStats",
+    "summarize",
+    "confidence_interval",
+]

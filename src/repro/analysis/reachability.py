@@ -1,0 +1,130 @@
+"""Exhaustive exploration of the configuration space.
+
+Because agents are anonymous, the global state of a population of ``n``
+agents is fully described by its configuration — the multiset of agent states
+(Definition 1.1).  For small ``n`` and ``k`` the whole configuration graph is
+tiny and can be explored exhaustively: nodes are configurations, and there is
+an edge ``C → C'`` when some ordered pair of (occurrences of) states present
+in ``C`` transitions so that the multiset becomes ``C'``.
+
+The explorer underpins the model-checking half of experiment E3 and several
+integration tests (e.g. "every terminal configuration of Circles matches the
+greedy-independent-set prediction").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import TypeVar
+
+from repro.protocols.base import PopulationProtocol
+from repro.utils.multiset import Multiset
+
+State = TypeVar("State", bound=Hashable)
+
+#: A hashable snapshot of a configuration.
+ConfigKey = frozenset
+
+
+def configuration_key(configuration: Multiset[State]) -> ConfigKey:
+    """The canonical hashable form of a configuration."""
+    return configuration.frozen()
+
+
+def key_to_multiset(key: ConfigKey) -> Multiset[State]:
+    """Rebuild a configuration from its canonical form."""
+    return Multiset(dict(key))
+
+
+def successor_configurations(
+    protocol: PopulationProtocol[State], configuration: Multiset[State]
+) -> set[ConfigKey]:
+    """All configurations reachable in exactly one interaction (excluding self-loops)."""
+    successors: set[ConfigKey] = set()
+    support = list(configuration.support())
+    for initiator in support:
+        for responder in support:
+            if initiator == responder and configuration.count(initiator) < 2:
+                continue
+            result = protocol.transition(initiator, responder)
+            if not result.changed:
+                continue
+            next_config = configuration.copy()
+            next_config.remove(initiator)
+            next_config.remove(responder)
+            next_config.add(result.initiator)
+            next_config.add(result.responder)
+            successors.add(configuration_key(next_config))
+    return successors
+
+
+@dataclass
+class ReachabilityResult:
+    """The explored configuration graph."""
+
+    initial: ConfigKey
+    configurations: set[ConfigKey] = field(default_factory=set)
+    edges: dict[ConfigKey, set[ConfigKey]] = field(default_factory=dict)
+    truncated: bool = False
+
+    @property
+    def num_configurations(self) -> int:
+        """How many distinct configurations were found."""
+        return len(self.configurations)
+
+    def terminal_configurations(self) -> set[ConfigKey]:
+        """Configurations with no changing transition (silent configurations)."""
+        return {key for key in self.configurations if not self.edges.get(key)}
+
+    def successors(self, key: ConfigKey) -> set[ConfigKey]:
+        """The one-step successors of a configuration."""
+        return set(self.edges.get(key, set()))
+
+    def reachable_from(self, key: ConfigKey) -> set[ConfigKey]:
+        """All configurations reachable from ``key`` (including itself)."""
+        seen = {key}
+        frontier = deque([key])
+        while frontier:
+            current = frontier.popleft()
+            for successor in self.edges.get(current, set()):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen
+
+
+def explore_configurations(
+    protocol: PopulationProtocol[State],
+    colors: Sequence[int] | Iterable[int],
+    max_configurations: int = 200_000,
+) -> ReachabilityResult:
+    """Breadth-first exploration of every configuration reachable from the input.
+
+    Args:
+        protocol: the protocol to explore.
+        colors: the input color assignment.
+        max_configurations: safety cap; when hit, ``truncated`` is set on the
+            result and exploration stops (results are then partial).
+    """
+    initial = Multiset(protocol.initial_state(color) for color in colors)
+    if len(initial) < 2:
+        raise ValueError("reachability analysis needs at least two agents")
+    initial_key = configuration_key(initial)
+    result = ReachabilityResult(initial=initial_key)
+    result.configurations.add(initial_key)
+    frontier = deque([initial_key])
+    while frontier:
+        current_key = frontier.popleft()
+        current = key_to_multiset(current_key)
+        successors = successor_configurations(protocol, current)
+        result.edges[current_key] = successors
+        for successor in successors:
+            if successor not in result.configurations:
+                if len(result.configurations) >= max_configurations:
+                    result.truncated = True
+                    return result
+                result.configurations.add(successor)
+                frontier.append(successor)
+    return result

@@ -1,0 +1,115 @@
+"""State-complexity accounting (experiment E1).
+
+The paper's headline result is about *state complexity*: the number of states
+an agent can be in.  Two counts matter experimentally:
+
+* the **declared** count — the size of the state set the protocol defines
+  (``k^3`` for Circles);
+* the **reachable** count — how many distinct states actually occur across
+  executions from a given input (never larger than the declared count; for
+  Circles it is at most ``k^2 · k = k^3`` but typically far smaller for a
+  specific input).
+
+``state_complexity_report`` collects both, together with the reference curves
+the paper cites: the best known upper bound before this work, ``O(k^7)``
+(Gąsieniec et al. [10]), and the ``Ω(k^2)`` lower bound (Natale & Ramezani
+[12]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import TypeVar
+
+from repro.protocols.base import PopulationProtocol
+from repro.scheduling.permutation import RandomPermutationScheduler
+from repro.simulation.engine import AgentSimulation
+from repro.simulation.population import Population
+from repro.utils.rng import RngLike, make_rng
+
+State = TypeVar("State", bound=Hashable)
+
+
+def declared_state_count(protocol: PopulationProtocol[State]) -> int:
+    """The size of the protocol's declared state set."""
+    return protocol.state_count()
+
+
+def reachable_states(
+    protocol: PopulationProtocol[State],
+    colors: Sequence[int],
+    max_steps: int = 20_000,
+    seed: RngLike = 0,
+) -> set[State]:
+    """The set of states observed along one randomized fair execution.
+
+    This is an *empirical under-approximation* of the reachable state set —
+    good enough to show that Circles touches only a small fraction of its
+    ``k^3`` states on typical inputs, which is part of the E1 report.
+    """
+    rng = make_rng(seed)
+    population = Population.from_colors(protocol, colors)
+    scheduler = RandomPermutationScheduler(len(population), seed=rng.getrandbits(32))
+    simulation = AgentSimulation(protocol, population, scheduler)
+    observed: set[State] = set(simulation.states())
+    for _ in range(max_steps):
+        record = simulation.step()
+        observed.add(record.after[0])
+        observed.add(record.after[1])
+    return observed
+
+
+#: Reference state-complexity curves quoted by the paper (§1, Contribution).
+def circles_bound(num_colors: int) -> int:
+    """The paper's upper bound: exactly ``k^3`` states."""
+    return num_colors**3
+
+
+def prior_upper_bound(num_colors: int) -> int:
+    """The best previously known upper bound, ``O(k^7)`` [10] (constant taken as 1)."""
+    return num_colors**7
+
+
+def lower_bound(num_colors: int) -> int:
+    """The best known lower bound, ``Ω(k^2)`` [12] (constant taken as 1)."""
+    return num_colors**2
+
+
+@dataclass(frozen=True)
+class StateComplexityReport:
+    """Declared/reachable counts for one protocol at one ``k``."""
+
+    protocol_name: str
+    num_colors: int
+    declared: int
+    reachable: int | None
+
+    def as_row(self) -> tuple[object, ...]:
+        """A row for the E1 table."""
+        return (self.protocol_name, self.num_colors, self.declared, self.reachable)
+
+
+def state_complexity_report(
+    protocol: PopulationProtocol[State],
+    colors: Sequence[int] | None = None,
+    max_steps: int = 20_000,
+    seed: RngLike = 0,
+) -> StateComplexityReport:
+    """Build the E1 report entry for one protocol (reachable count optional)."""
+    reachable = (
+        len(reachable_states(protocol, colors, max_steps=max_steps, seed=seed))
+        if colors is not None
+        else None
+    )
+    return StateComplexityReport(
+        protocol_name=protocol.name,
+        num_colors=protocol.num_colors,
+        declared=declared_state_count(protocol),
+        reachable=reachable,
+    )
+
+
+def reference_curves(ks: Iterable[int]) -> list[tuple[int, int, int, int]]:
+    """Rows ``(k, lower bound k^2, Circles k^3, prior upper bound k^7)`` for E1."""
+    return [(k, lower_bound(k), circles_bound(k), prior_upper_bound(k)) for k in ks]

@@ -1,0 +1,128 @@
+"""A small statistics toolkit for benchmark reports.
+
+Dependency-free summaries (mean, standard deviation, quantiles, normal-
+approximation confidence intervals) used when aggregating repeated protocol
+runs into the rows of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+def mean(values: Sequence[float]) -> float:
+    """The arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """The unbiased sample variance (zero for samples of size one)."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    if len(values) == 1:
+        return 0.0
+    center = mean(values)
+    return sum((value - center) ** 2 for value in values) / (len(values) - 1)
+
+
+def std_dev(values: Sequence[float]) -> float:
+    """The sample standard deviation."""
+    return math.sqrt(variance(values))
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile by linear interpolation (``0 ≤ q ≤ 1``)."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile level must lie in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(ordered[low])
+    fraction = position - low
+    return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """A normal-approximation confidence interval for the mean."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly between 0 and 1")
+    center = mean(values)
+    if len(values) == 1:
+        return (center, center)
+    # Two-sided z value via the probit function approximation.
+    z = _probit(0.5 + confidence / 2)
+    half_width = z * std_dev(values) / math.sqrt(len(values))
+    return (center - half_width, center + half_width)
+
+
+def _probit(p: float) -> float:
+    """Acklam's rational approximation of the standard normal quantile."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("probability must lie strictly between 0 and 1")
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean, spread and quantiles of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+
+    def as_row(self) -> tuple[float, ...]:
+        """A row for tabular reports."""
+        return (self.count, self.mean, self.std, self.minimum, self.median, self.p90, self.maximum)
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` for a non-empty sample."""
+    values = [float(value) for value in values]
+    return SummaryStats(
+        count=len(values),
+        mean=mean(values),
+        std=std_dev(values),
+        minimum=min(values),
+        maximum=max(values),
+        median=quantile(values, 0.5),
+        p90=quantile(values, 0.9),
+    )

@@ -1,0 +1,136 @@
+"""Correctness verification by exhaustive model checking (experiment E3).
+
+The paper claims *always-correctness under weak fairness*: on every input
+with a unique relative majority and every weakly fair interaction sequence,
+all agents eventually output the majority color forever (Theorem 3.7).
+
+For small populations the claim can be checked mechanically on the
+configuration graph.  The check implemented here is the standard
+stabilization check used for population protocols under *global* fairness:
+
+1. explore every configuration reachable from the input;
+2. call a configuration **correct** when every agent outputs the majority
+   color, and **correct-closed** when every configuration reachable from it
+   is correct (once entered, the answer can never be wrong again);
+3. the protocol *stabilizes correctly* when from **every** reachable
+   configuration some correct-closed configuration remains reachable, and no
+   reachable configuration is *incorrect-closed* (a trap from which no
+   correct configuration is reachable).
+
+Global fairness implies weak fairness for the schedules it admits, so this
+check is a strong mechanical corroboration rather than a literal proof of the
+weak-fairness theorem; the adversarial-scheduler simulations in experiment E3
+cover the weak-fairness side empirically (the paper's own proof covers it
+exactly).  The distinction is documented here and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+from typing import TypeVar
+
+from repro.analysis.reachability import (
+    ConfigKey,
+    ReachabilityResult,
+    explore_configurations,
+    key_to_multiset,
+)
+from repro.core.greedy_sets import predicted_majority
+from repro.protocols.base import PopulationProtocol
+
+State = TypeVar("State", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """The verdict of the exhaustive correctness check for one input."""
+
+    protocol_name: str
+    colors: tuple[int, ...]
+    majority: int
+    num_configurations: int
+    always_stabilizes_correctly: bool
+    has_incorrect_trap: bool
+    truncated: bool
+
+    @property
+    def verified(self) -> bool:
+        """True when the check passed completely (no truncation, no traps)."""
+        return (
+            self.always_stabilizes_correctly
+            and not self.has_incorrect_trap
+            and not self.truncated
+        )
+
+
+def _all_outputs_correct(
+    protocol: PopulationProtocol[State], key: ConfigKey, majority: int
+) -> bool:
+    configuration = key_to_multiset(key)
+    return all(protocol.output(state) == majority for state in configuration.support())
+
+
+def _correct_closed_set(
+    protocol: PopulationProtocol[State], graph: ReachabilityResult, majority: int
+) -> set[ConfigKey]:
+    """Configurations from which every reachable configuration is correct.
+
+    Computed as a greatest fixed point: start from all correct configurations
+    and repeatedly remove any whose successors include a configuration outside
+    the set.
+    """
+    closed = {
+        key for key in graph.configurations if _all_outputs_correct(protocol, key, majority)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key in list(closed):
+            if any(successor not in closed for successor in graph.successors(key)):
+                closed.discard(key)
+                changed = True
+    return closed
+
+
+def verify_always_correct(
+    protocol: PopulationProtocol[State],
+    colors: Sequence[int],
+    max_configurations: int = 200_000,
+) -> VerificationResult:
+    """Exhaustively check that the protocol stabilizes to the majority output.
+
+    Args:
+        protocol: the protocol to verify.
+        colors: an input assignment with a unique relative majority.
+        max_configurations: exploration cap; a truncated exploration yields a
+            non-verified result rather than a wrong one.
+
+    Raises:
+        ValueError: when the input has no unique majority.
+    """
+    majority = predicted_majority(colors)
+    graph = explore_configurations(protocol, colors, max_configurations=max_configurations)
+    closed = _correct_closed_set(protocol, graph, majority)
+
+    always_reaches_correct = True
+    has_trap = False
+    for key in graph.configurations:
+        reachable = graph.reachable_from(key)
+        if not (reachable & closed):
+            always_reaches_correct = False
+            # A configuration from which no correct configuration is reachable
+            # at all is a hard trap (stronger failure than mere non-closure).
+            if not any(
+                _all_outputs_correct(protocol, other, majority) for other in reachable
+            ):
+                has_trap = True
+    return VerificationResult(
+        protocol_name=protocol.name,
+        colors=tuple(colors),
+        majority=majority,
+        num_configurations=graph.num_configurations,
+        always_stabilizes_correctly=always_reaches_correct,
+        has_incorrect_trap=has_trap,
+        truncated=graph.truncated,
+    )

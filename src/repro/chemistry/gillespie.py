@@ -1,0 +1,131 @@
+"""An exact stochastic simulator (Gillespie SSA) for protocol-derived CRNs.
+
+The simulator tracks molecule counts per species and repeatedly (1) computes
+each reaction's propensity (mass-action: ``count(a)·count(b)`` for ``a ≠ b``
+and ``count(a)·(count(a)-1)/2`` for ``a + a``, scaled by the rate constant and
+a volume factor), (2) samples an exponential waiting time, and (3) fires one
+reaction chosen proportionally to propensity.
+
+For unit rates this is the continuous-time analogue of the uniform random
+scheduler, so the discrete-step engines and the SSA agree on which
+configurations are reachable and where the dynamics settle — the integration
+tests check exactly that, and experiment E5 uses the SSA for the "chemical"
+energy-relaxation trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.chemistry.crn import CRN, Reaction
+from repro.utils.multiset import Multiset
+from repro.utils.rng import RngLike, make_rng, weighted_choice
+
+State = TypeVar("State", bound=Hashable)
+
+
+@dataclass
+class GillespieResult(Generic[State]):
+    """The outcome of one SSA run."""
+
+    final_counts: dict[State, int]
+    time: float
+    reactions_fired: int
+    exhausted: bool
+    trajectory: list[tuple[float, dict[State, int]]] = field(default_factory=list)
+
+    def final_multiset(self) -> Multiset[State]:
+        """The final mixture as a configuration multiset."""
+        return Multiset(self.final_counts)
+
+
+def _propensity(reaction: Reaction[State], counts: Mapping[State, int]) -> float:
+    a, b = reaction.reactants
+    if a == b:
+        available = counts.get(a, 0)
+        pairs = available * (available - 1) / 2.0
+    else:
+        pairs = counts.get(a, 0) * counts.get(b, 0)
+    return reaction.rate * pairs
+
+
+def simulate_crn(
+    crn: CRN[State],
+    initial_counts: Mapping[State, int] | Multiset[State],
+    max_reactions: int = 100_000,
+    max_time: float = math.inf,
+    seed: RngLike = None,
+    record_every: int | None = None,
+) -> GillespieResult[State]:
+    """Run the Gillespie SSA until no reaction can fire or a budget is hit.
+
+    Args:
+        crn: the reaction network.
+        initial_counts: molecule counts per species (a mapping or a multiset).
+        max_reactions: cap on the number of reaction firings.
+        max_time: cap on simulated (continuous) time.
+        seed: RNG seed for reproducibility.
+        record_every: when given, a ``(time, counts)`` snapshot is stored every
+            that many firings (plus the initial and final states).
+
+    Returns:
+        A :class:`GillespieResult`; ``exhausted`` is True when the run stopped
+        because no reaction had positive propensity (a chemically "dead",
+        i.e. silent, mixture).
+    """
+    if isinstance(initial_counts, Multiset):
+        counts: dict[State, int] = initial_counts.counts()
+    else:
+        counts = {species: int(count) for species, count in initial_counts.items() if count}
+    for species, count in counts.items():
+        if count < 0:
+            raise ValueError(f"negative molecule count for species {species!r}")
+
+    rng = make_rng(seed)
+    time = 0.0
+    fired = 0
+    trajectory: list[tuple[float, dict[State, int]]] = []
+    if record_every:
+        trajectory.append((time, dict(counts)))
+
+    while fired < max_reactions and time < max_time:
+        propensities = [_propensity(reaction, counts) for reaction in crn.reactions]
+        total = sum(propensities)
+        if total <= 0.0:
+            result = GillespieResult(
+                final_counts=dict(counts),
+                time=time,
+                reactions_fired=fired,
+                exhausted=True,
+                trajectory=trajectory,
+            )
+            if record_every:
+                result.trajectory.append((time, dict(counts)))
+            return result
+        time += rng.expovariate(total)
+        if time > max_time:
+            break
+        index = weighted_choice(rng, propensities)
+        reaction = crn.reactions[index]
+        for reactant in reaction.reactants:
+            counts[reactant] = counts.get(reactant, 0) - 1
+            if counts[reactant] == 0:
+                del counts[reactant]
+        for product in reaction.products:
+            counts[product] = counts.get(product, 0) + 1
+        fired += 1
+        if record_every and fired % record_every == 0:
+            trajectory.append((time, dict(counts)))
+
+    if record_every:
+        trajectory.append((time, dict(counts)))
+    return GillespieResult(
+        final_counts=dict(counts),
+        time=time,
+        reactions_fired=fired,
+        exhausted=False,
+        trajectory=trajectory,
+    )

@@ -1,0 +1,56 @@
+"""The paper's contribution: the Circles protocol and its proof machinery.
+
+* :mod:`repro.core.braket` — bra-ket pairs, the weight function ``w`` and the
+  modulo-range notation of §1.
+* :mod:`repro.core.state` — the full Circles agent state ``(bra, ket, out)``.
+* :mod:`repro.core.circles` — the Circles protocol itself (§2).
+* :mod:`repro.core.greedy_sets` — greedy independent sets (Definition 3.1),
+  circle bra-ket sets (Definition 3.5) and the predicted stable configuration
+  (Lemma 3.6).
+* :mod:`repro.core.potential` — the ordinal potential ``g(C)`` of Theorem 3.4
+  and the scalar energy used by the chemistry view.
+* :mod:`repro.core.invariants` — the global bra-ket invariant (Lemma 3.3),
+  stabilization and correctness predicates.
+"""
+
+from repro.core.braket import BraKet, braket_weight, mod_range_closed, mod_range_open
+from repro.core.circles import CirclesProtocol, CirclesVariant
+from repro.core.greedy_sets import (
+    circle_braket_set,
+    greedy_independent_sets,
+    predicted_majority,
+    predicted_stable_brakets,
+)
+from repro.core.invariants import (
+    braket_counts,
+    braket_invariant_holds,
+    is_stable_configuration,
+    outputs_agree,
+)
+from repro.core.potential import (
+    configuration_energy,
+    minimum_energy,
+    ordinal_potential,
+)
+from repro.core.state import CirclesState
+
+__all__ = [
+    "BraKet",
+    "braket_weight",
+    "mod_range_closed",
+    "mod_range_open",
+    "CirclesProtocol",
+    "CirclesVariant",
+    "CirclesState",
+    "greedy_independent_sets",
+    "circle_braket_set",
+    "predicted_stable_brakets",
+    "predicted_majority",
+    "ordinal_potential",
+    "configuration_energy",
+    "minimum_energy",
+    "braket_invariant_holds",
+    "braket_counts",
+    "is_stable_configuration",
+    "outputs_agree",
+]

@@ -1,0 +1,120 @@
+"""Bra-ket pairs, the weight function and the modulo-range notation.
+
+Section 1 of the paper introduces three notations that the protocol and its
+proofs rely on:
+
+* the *bra-ket* ``⟨i|j⟩`` — an ordered pair of colors, ``i`` the bra and ``j``
+  the ket;
+* the *weight* of a bra-ket:
+
+      w(⟨i|j⟩) = k           if i == j
+                 (j - i) mod k  otherwise
+
+  (diagonal bra-kets are the heaviest; off-diagonal weights are the clockwise
+  distance from ``i`` to ``j`` on the circle of colors);
+* *modulo ranges* ``[x, y]_p`` and ``(x, y)_p`` — the clockwise arcs between
+  two colors, e.g. ``[2, 7]_10 = {2,...,7}`` and ``(8, 3)_10 = {9, 0, 1, 2}``.
+
+This module implements all three exactly as defined so the analysis code and
+the correctness proofs' claims (e.g. Claim 1 in Lemma 3.6) can be checked
+mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class BraKet(NamedTuple):
+    """The ordered pair ``⟨bra|ket⟩`` of two colors."""
+
+    bra: int
+    ket: int
+
+    def is_diagonal(self) -> bool:
+        """True for bra-kets of the form ``⟨i|i⟩`` (weight ``k``)."""
+        return self.bra == self.ket
+
+    def with_ket(self, ket: int) -> "BraKet":
+        """A copy with the ket replaced (bras never change in Circles)."""
+        return BraKet(self.bra, ket)
+
+    def __str__(self) -> str:
+        return f"⟨{self.bra}|{self.ket}⟩"
+
+
+def braket_weight(braket: BraKet, num_colors: int) -> int:
+    """The weight ``w(⟨i|j⟩)`` from §2 of the paper.
+
+    Diagonal bra-kets weigh ``k``; off-diagonal ones weigh ``(j - i) mod k``,
+    which lies in ``[1, k-1]``.  The protocol's ket exchanges greedily reduce
+    the minimum weight, which is exactly the "energy minimization" the title
+    refers to.
+
+    Raises:
+        ValueError: if either color is outside ``[0, k-1]`` or ``k < 1``.
+    """
+    if num_colors < 1:
+        raise ValueError(f"num_colors must be positive, got {num_colors}")
+    for color in (braket.bra, braket.ket):
+        if not 0 <= color < num_colors:
+            raise ValueError(
+                f"color {color} out of range [0, {num_colors - 1}] in bra-ket {braket}"
+            )
+    if braket.bra == braket.ket:
+        return num_colors
+    return (braket.ket - braket.bra) % num_colors
+
+
+def exchange_kets(first: BraKet, second: BraKet) -> tuple[BraKet, BraKet]:
+    """Swap the kets of two bra-kets (the only move Circles ever makes)."""
+    return first.with_ket(second.ket), second.with_ket(first.ket)
+
+
+def exchange_decreases_min_weight(first: BraKet, second: BraKet, num_colors: int) -> bool:
+    """Whether swapping kets *strictly* decreases the minimum of the two weights.
+
+    This is the guard of step (1) of the Circles transition function.  The
+    strictness matters: it is what makes the ordinal potential of Theorem 3.4
+    strictly decrease, hence what guarantees stabilization.
+    """
+    before = min(braket_weight(first, num_colors), braket_weight(second, num_colors))
+    swapped_first, swapped_second = exchange_kets(first, second)
+    after = min(
+        braket_weight(swapped_first, num_colors), braket_weight(swapped_second, num_colors)
+    )
+    return after < before
+
+
+def mod_range_closed(start: int, end: int, modulus: int) -> list[int]:
+    """The closed modulo range ``[start, end]_modulus`` from §1.
+
+    The result walks clockwise from ``start`` to ``end`` inclusive, e.g.
+    ``mod_range_closed(2, 7, 10) == [2, 3, 4, 5, 6, 7]`` and
+    ``mod_range_closed(8, 3, 10) == [8, 9, 0, 1, 2, 3]``.
+    """
+    if modulus < 1:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    length = (end - start) % modulus
+    return [(start + offset) % modulus for offset in range(length + 1)]
+
+
+def mod_range_open(start: int, end: int, modulus: int) -> list[int]:
+    """The open modulo range ``(start, end)_modulus`` from §1.
+
+    Both endpoints are excluded, e.g. ``mod_range_open(8, 3, 10) == [9, 0, 1, 2]``.
+    Following the paper's element-count formula (the open range contains
+    ``(end - start) mod modulus - 1`` elements), ``mod_range_open(x, x, p)`` is
+    empty.
+    """
+    if modulus < 1:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    length = (end - start) % modulus
+    return [(start + offset) % modulus for offset in range(1, length)]
+
+
+def clockwise_distance(source: int, target: int, modulus: int) -> int:
+    """The clockwise distance ``(target - source) mod modulus``."""
+    if modulus < 1:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    return (target - source) % modulus

@@ -1,0 +1,97 @@
+"""Invariants and predicates used by the correctness proof.
+
+* **Global bra-ket invariant** (Lemma 3.3): in every reachable configuration
+  and for every color ``i``, the number of bras ``⟨i|`` equals the number of
+  kets ``|i⟩``.  Agents only ever exchange kets, so the population-wide
+  multiset of bras and of kets never changes.
+* **Stabilization predicate**: a configuration is stable when no pair of
+  agents would exchange kets if they interacted (Theorem 3.4 guarantees every
+  execution reaches such a configuration after finitely many exchanges).
+* **Output predicates**: whether all agents report the same color, and whether
+  that color is the true relative majority (Theorem 3.7).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.core.braket import BraKet
+from repro.core.circles import CirclesProtocol
+from repro.core.state import CirclesState
+
+
+def _as_braket(item: BraKet | CirclesState) -> BraKet:
+    if isinstance(item, CirclesState):
+        return item.braket
+    return item
+
+
+def braket_counts(
+    items: Iterable[BraKet | CirclesState],
+) -> tuple[Counter[int], Counter[int]]:
+    """Count bras and kets per color; returns ``(bra_counts, ket_counts)``."""
+    bras: Counter[int] = Counter()
+    kets: Counter[int] = Counter()
+    for item in items:
+        braket = _as_braket(item)
+        bras[braket.bra] += 1
+        kets[braket.ket] += 1
+    return bras, kets
+
+
+def braket_invariant_holds(items: Iterable[BraKet | CirclesState]) -> bool:
+    """The global bra-ket invariant of Lemma 3.3: #⟨i| == #|i⟩ for every color."""
+    bras, kets = braket_counts(items)
+    return bras == kets
+
+
+def is_stable_configuration(
+    protocol: CirclesProtocol, items: Sequence[BraKet | CirclesState]
+) -> bool:
+    """Whether no interaction between any two agents would exchange kets.
+
+    Only the *distinct* bra-kets matter, so the check runs in
+    ``O(d^2)`` where ``d ≤ k^2`` is the number of distinct bra-kets, not in
+    ``O(n^2)``.  A pair of identical bra-kets never exchanges (swapping equal
+    kets changes nothing), so multiplicities are irrelevant except for
+    requiring at least two agents overall.
+    """
+    distinct = {_as_braket(item) for item in items}
+    ordered = sorted(distinct)
+    for index, first in enumerate(ordered):
+        for second in ordered[index:]:
+            if protocol.should_exchange(first, second):
+                return False
+    return True
+
+
+def outputs_agree(states: Iterable[CirclesState]) -> int | None:
+    """The common output color if all agents agree, else ``None``."""
+    seen: set[int] = set()
+    for state in states:
+        seen.add(state.out)
+        if len(seen) > 1:
+            return None
+    if not seen:
+        return None
+    return next(iter(seen))
+
+
+def all_output_correct(states: Iterable[CirclesState], majority: int) -> bool:
+    """Whether every agent currently outputs ``majority``."""
+    states = list(states)
+    if not states:
+        return False
+    return all(state.out == majority for state in states)
+
+
+def diagonal_colors(items: Iterable[BraKet | CirclesState]) -> set[int]:
+    """The colors ``i`` for which some agent holds the diagonal bra-ket ``⟨i|i⟩``.
+
+    Theorem 3.7 argues that, after stabilization with a unique majority ``μ``,
+    this set is exactly ``{μ}``.
+    """
+    return {
+        _as_braket(item).bra for item in items if _as_braket(item).is_diagonal()
+    }

@@ -1,0 +1,77 @@
+"""Potential and energy functions for Circles configurations.
+
+Theorem 3.4 proves stabilization with the ordinal potential
+
+    g(C) = ω^{n-1}·w₁(C) + ω^{n-2}·w₂(C) + ... + ω·w_{n-1}(C) + w_n(C)
+
+where ``w₁ ≤ w₂ ≤ ... ≤ w_n`` are the bra-ket weights of the agents sorted in
+increasing order.  Every ket exchange strictly decreases ``g``, and an ordinal
+cannot decrease infinitely often, so the number of exchanges is finite.
+
+The module also exposes the *scalar* energy (the plain sum of weights) used by
+the chemistry view (the "energy minimization" of the title) and the predicted
+minimum energy derived from the greedy-independent-set construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.braket import BraKet, braket_weight
+from repro.core.greedy_sets import predicted_stable_brakets
+from repro.core.state import CirclesState
+from repro.utils.ordinal import Ordinal
+
+
+def _as_braket(item: BraKet | CirclesState) -> BraKet:
+    if isinstance(item, CirclesState):
+        return item.braket
+    return item
+
+
+def sorted_weights(brakets: Iterable[BraKet | CirclesState], num_colors: int) -> list[int]:
+    """The bra-ket weights of a configuration, sorted in increasing order."""
+    return sorted(braket_weight(_as_braket(item), num_colors) for item in brakets)
+
+
+def ordinal_potential(brakets: Iterable[BraKet | CirclesState], num_colors: int) -> Ordinal:
+    """The ordinal potential ``g(C)`` of Theorem 3.4.
+
+    The smallest weight receives the highest power of ω, so a decrease of the
+    minimum weight dominates any increase of larger weights — exactly the
+    lexicographic argument of the proof.
+    """
+    weights = sorted_weights(brakets, num_colors)
+    return Ordinal.from_coefficients(weights)
+
+
+def configuration_energy(brakets: Iterable[BraKet | CirclesState], num_colors: int) -> int:
+    """The scalar energy: the sum of all bra-ket weights.
+
+    This is the quantity the chemical analogy minimizes.  Unlike the ordinal
+    potential it does not necessarily decrease at every single exchange under
+    the MIN_WEIGHT rule, but it is minimized at the stable configurations
+    (experiment E5 measures this).
+    """
+    return sum(braket_weight(_as_braket(item), num_colors) for item in brakets)
+
+
+def minimum_energy(colors: Iterable[int], num_colors: int) -> int:
+    """The energy of the stable configuration predicted by Lemma 3.6.
+
+    Computed from the greedy independent sets of the input colors, without
+    running the protocol.
+    """
+    prediction = predicted_stable_brakets(colors)
+    return configuration_energy(prediction.elements(), num_colors)
+
+
+def weight_histogram(
+    brakets: Iterable[BraKet | CirclesState], num_colors: int
+) -> dict[int, int]:
+    """How many agents hold a bra-ket of each weight (diagnostic for E5)."""
+    histogram: dict[int, int] = {}
+    for item in brakets:
+        weight = braket_weight(_as_braket(item), num_colors)
+        histogram[weight] = histogram.get(weight, 0) + 1
+    return histogram

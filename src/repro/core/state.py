@@ -1,0 +1,46 @@
+"""The full Circles agent state ``(bra, ket, out)``.
+
+Section 2 defines the state set as all triples ``(i, j, o) ∈ [0, k-1]^3``:
+the bra-ket ``⟨i|j⟩`` plus the currently reported output color ``o``.  The
+state is an immutable NamedTuple so configurations can be stored as multisets
+and traces can be hashed and compared cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.braket import BraKet
+
+
+class CirclesState(NamedTuple):
+    """One agent's state in the Circles protocol."""
+
+    bra: int
+    ket: int
+    out: int
+
+    @classmethod
+    def initial(cls, color: int) -> "CirclesState":
+        """The input map: an agent with input ``color`` starts as ``⟨color|color⟩`` with ``out = color``."""
+        return cls(bra=color, ket=color, out=color)
+
+    @property
+    def braket(self) -> BraKet:
+        """The bra-ket part of the state."""
+        return BraKet(self.bra, self.ket)
+
+    def is_diagonal(self) -> bool:
+        """True for states whose bra-ket is ``⟨i|i⟩``."""
+        return self.bra == self.ket
+
+    def with_ket(self, ket: int) -> "CirclesState":
+        """A copy with the ket replaced (used by ket exchanges)."""
+        return CirclesState(self.bra, ket, self.out)
+
+    def with_out(self, out: int) -> "CirclesState":
+        """A copy with the output color replaced (used by output propagation)."""
+        return CirclesState(self.bra, self.ket, out)
+
+    def __str__(self) -> str:
+        return f"⟨{self.bra}|{self.ket}⟩·out={self.out}"

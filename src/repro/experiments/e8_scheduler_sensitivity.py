@@ -1,0 +1,87 @@
+"""E8 — Scheduler sensitivity: why weak fairness (Definition 1.2) is needed.
+
+A negative control: the paper's guarantee explicitly assumes a weakly fair
+scheduler, because an unconstrained scheduler can simply isolate agents and
+make the problem unsolvable.  The experiment runs Circles under
+
+* weakly fair schedulers (uniform random, round-robin, greedy-stall) — the
+  correctness rate must be 100%;
+* **unfair** schedulers that isolate part of the population — correctness is
+  expected to fail whenever the isolated agents hold decisive votes.
+
+The isolated workload is constructed so that the isolated agents flip the
+majority: the visible sub-population has a different plurality than the whole
+population, so any protocol must answer incorrectly under the unfair schedule.
+"""
+
+from __future__ import annotations
+
+from repro.core.circles import CirclesProtocol
+from repro.experiments.harness import ExperimentResult
+from repro.scheduling.adversarial import GreedyStallScheduler, IsolationScheduler
+from repro.scheduling.random_uniform import UniformRandomScheduler
+from repro.scheduling.round_robin import RoundRobinScheduler
+from repro.simulation.runner import run_circles
+from repro.utils.rng import make_rng
+
+
+def _decisive_isolation_input(num_agents: int) -> tuple[list[int], list[int]]:
+    """An input and an isolation set such that isolation flips the visible majority.
+
+    Color 0 is the true majority, but most of its supporters are isolated, so
+    the interacting sub-population sees color 1 as its plurality.
+    """
+    if num_agents < 7:
+        raise ValueError("need at least 7 agents for a decisive isolation scenario")
+    majority_count = num_agents // 2 + 1
+    minority_count = num_agents - majority_count
+    colors = [0] * majority_count + [1] * minority_count
+    # Isolate enough color-0 agents (they occupy the low indices) that the
+    # interacting sub-population has more color-1 than color-0 supporters.
+    to_isolate = (majority_count - minority_count) + 1
+    isolated = list(range(to_isolate))
+    return colors, isolated
+
+
+def run(num_agents: int = 15, trials: int = 4, seed: int = 97) -> ExperimentResult:
+    """Build the E8 scheduler-sensitivity table."""
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Scheduler sensitivity: weakly fair vs. unfair schedules (Definition 1.2)",
+        headers=("scheduler", "weakly fair", "trials", "correct runs"),
+    )
+    rng = make_rng(seed)
+    colors, isolated = _decisive_isolation_input(num_agents)
+    k = 2
+
+    def build(name: str):
+        protocol = CirclesProtocol(k)
+        if name == "uniform-random":
+            return UniformRandomScheduler(num_agents, seed=rng.getrandbits(32))
+        if name == "round-robin":
+            return RoundRobinScheduler(num_agents, seed=rng.getrandbits(32), shuffle_once=True)
+        if name == "greedy-stall":
+            return GreedyStallScheduler(
+                num_agents,
+                transition_changes=lambda a, b: protocol.transition(a, b).changed,
+                seed=rng.getrandbits(32),
+            )
+        if name == "isolation":
+            return IsolationScheduler(num_agents, isolated, seed=rng.getrandbits(32))
+        raise ValueError(name)
+
+    for name in ("uniform-random", "round-robin", "greedy-stall", "isolation"):
+        correct = 0
+        for _ in range(trials):
+            scheduler = build(name)
+            outcome = run_circles(
+                colors, num_colors=k, scheduler=scheduler, max_steps=150 * num_agents * num_agents
+            )
+            correct += outcome.correct
+        result.add_row(name, build(name).is_weakly_fair, trials, f"{correct}/{trials}")
+    result.add_note(
+        "Under every weakly fair scheduler all runs are correct; under the isolation "
+        "scheduler the interacting sub-population sees a different plurality, so the runs "
+        "are (necessarily) incorrect — demonstrating that Definition 1.2 is required."
+    )
+    return result

@@ -1,0 +1,53 @@
+"""Generate the full experiment report (all of E1–E8) as Markdown.
+
+Usage::
+
+    python -m repro.experiments.report            # print to stdout
+    python -m repro.experiments.report out.md     # write to a file
+
+The report runs every registered experiment with its default (laptop-scale)
+parameters and renders each result section in the same format EXPERIMENTS.md
+uses, so regenerating the measured numbers after a code change is a single
+command.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Iterable
+
+from repro.experiments.harness import ExperimentResult, experiment_catalog, get_experiment
+
+
+def generate_report(experiment_ids: Iterable[str] | None = None) -> str:
+    """Run the selected experiments (all by default) and return a Markdown report."""
+    ids = list(experiment_ids) if experiment_ids is not None else experiment_catalog()
+    sections: list[str] = ["# Experiment report", ""]
+    for experiment_id in ids:
+        result: ExperimentResult = get_experiment(experiment_id)()
+        sections.append(result.to_markdown())
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: optional output path, optional experiment ids."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    output_path = None
+    ids = None
+    if args and args[0].endswith(".md"):
+        output_path = args.pop(0)
+    if args:
+        ids = args
+    report = generate_report(ids)
+    if output_path:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {output_path}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    raise SystemExit(main())

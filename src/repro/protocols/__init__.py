@@ -1,0 +1,34 @@
+"""Population protocols: the abstract interface, baselines and extensions.
+
+The star of the package is :class:`repro.core.circles.CirclesProtocol` (it
+lives in :mod:`repro.core` because it is the paper's contribution); everything
+here is either the shared protocol framework or a comparator:
+
+* :mod:`repro.protocols.base` — the abstract :class:`PopulationProtocol`
+  interface every protocol implements.
+* :mod:`repro.protocols.exact_majority` — the classical 4-state exact
+  majority protocol for two colors.
+* :mod:`repro.protocols.approximate_majority` — the 3-state approximate
+  majority protocol (not always-correct; a probabilistic baseline).
+* :mod:`repro.protocols.cancellation_plurality` — pairwise-cancellation
+  plurality, a simple but incorrect-under-adversarial-schedules baseline.
+* :mod:`repro.protocols.gasieniec_plurality` — a deterministic
+  always-correct plurality baseline in the spirit of the O(k^7) protocol the
+  paper improves upon.
+* :mod:`repro.protocols.leader_election` / :mod:`repro.protocols.ordering`
+  — ingredients of the unordered-setting extension (§4).
+* :mod:`repro.protocols.circles_ties` — tie report / tie break / tie share
+  layers on top of Circles (§4).
+* :mod:`repro.protocols.circles_unordered` — the O(k^4) unordered variant.
+"""
+
+from repro.protocols.base import PopulationProtocol, TransitionResult
+from repro.protocols.registry import ProtocolRegistry, get_protocol, register_protocol
+
+__all__ = [
+    "PopulationProtocol",
+    "TransitionResult",
+    "ProtocolRegistry",
+    "get_protocol",
+    "register_protocol",
+]

@@ -1,0 +1,65 @@
+"""A small registry mapping protocol names to factories.
+
+The experiment harness and the examples refer to protocols by name
+("circles", "exact-majority", ...) so that sweeps can be configured with
+plain strings; the registry is the single place where those names resolve to
+classes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.protocols.base import PopulationProtocol
+
+ProtocolFactory = Callable[..., PopulationProtocol]
+
+
+class ProtocolRegistry:
+    """Name -> factory mapping with simple duplicate protection."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, ProtocolFactory] = {}
+
+    def register(self, name: str, factory: ProtocolFactory, *, overwrite: bool = False) -> None:
+        """Register ``factory`` under ``name``.
+
+        Raises:
+            ValueError: if the name is already taken and ``overwrite`` is False.
+        """
+        if not overwrite and name in self._factories:
+            raise ValueError(f"protocol name {name!r} is already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str, *args: object, **kwargs: object) -> PopulationProtocol:
+        """Instantiate the protocol registered under ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "<none>"
+            raise KeyError(f"unknown protocol {name!r}; known protocols: {known}") from None
+        return factory(*args, **kwargs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    def names(self) -> list[str]:
+        """All registered protocol names, sorted."""
+        return sorted(self._factories)
+
+
+#: The default, module-level registry populated by ``repro.__init__``.
+DEFAULT_REGISTRY = ProtocolRegistry()
+
+
+def register_protocol(name: str, factory: ProtocolFactory, *, overwrite: bool = False) -> None:
+    """Register a protocol factory in the default registry."""
+    DEFAULT_REGISTRY.register(name, factory, overwrite=overwrite)
+
+
+def get_protocol(name: str, *args: object, **kwargs: object) -> PopulationProtocol:
+    """Instantiate a protocol from the default registry."""
+    return DEFAULT_REGISTRY.create(name, *args, **kwargs)

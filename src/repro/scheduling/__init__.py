@@ -1,0 +1,33 @@
+"""Interaction schedulers.
+
+In the population-protocol model the *scheduler* chooses which ordered pair of
+agents interacts at each step.  The paper's correctness guarantee holds for
+every **weakly fair** scheduler (Definition 1.2: every pair interacts
+infinitely often); the empirical population-protocols literature additionally
+measures convergence under the **uniform random** scheduler.  This package
+provides both families plus deliberately unfair schedulers used as negative
+controls (experiment E8) and a fairness checker.
+"""
+
+from repro.scheduling.base import Scheduler
+from repro.scheduling.random_uniform import UniformRandomScheduler
+from repro.scheduling.round_robin import RoundRobinScheduler
+from repro.scheduling.permutation import RandomPermutationScheduler
+from repro.scheduling.adversarial import (
+    GreedyStallScheduler,
+    IsolationScheduler,
+    SingleColorScheduler,
+)
+from repro.scheduling.fairness import covers_all_pairs, fairness_report
+
+__all__ = [
+    "Scheduler",
+    "UniformRandomScheduler",
+    "RoundRobinScheduler",
+    "RandomPermutationScheduler",
+    "GreedyStallScheduler",
+    "IsolationScheduler",
+    "SingleColorScheduler",
+    "covers_all_pairs",
+    "fairness_report",
+]

@@ -1,0 +1,83 @@
+"""The scheduler interface.
+
+A scheduler is queried once per simulation step for the ordered pair of agent
+indices that interacts next.  Schedulers may be *adaptive*: ``next_pair``
+receives the current sequence of agent states, which lets adversarial
+schedulers stall progress while (optionally) remaining weakly fair.
+
+Weak fairness (Definition 1.2) is a property of infinite schedules; a finite
+simulation can only ever approximate it.  Each scheduler therefore declares
+``is_weakly_fair`` — whether its infinite extension is weakly fair — and the
+:mod:`repro.scheduling.fairness` helpers measure coverage of finite prefixes.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from typing import Any
+
+from repro.utils.rng import RngLike, make_rng
+
+
+class Scheduler(abc.ABC):
+    """Abstract base class for interaction schedulers."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "scheduler"
+    #: Whether the scheduler's infinite schedule is weakly fair.
+    is_weakly_fair: bool = True
+
+    def __init__(self, num_agents: int, seed: RngLike = None) -> None:
+        if num_agents < 2:
+            raise ValueError(
+                f"a population needs at least two agents to interact, got {num_agents}"
+            )
+        self._num_agents = num_agents
+        self._rng = make_rng(seed)
+
+    @property
+    def num_agents(self) -> int:
+        """The population size this scheduler was built for."""
+        return self._num_agents
+
+    @abc.abstractmethod
+    def next_pair(self, step: int, states: Sequence[Any]) -> tuple[int, int]:
+        """Return the ordered (initiator, responder) pair for simulation step ``step``.
+
+        ``states`` is the current state of every agent (indexable by agent id);
+        oblivious schedulers simply ignore it.
+        """
+
+    def reset(self) -> None:
+        """Reset any internal position so the scheduler can be reused."""
+
+    def _validate_pair(self, pair: tuple[int, int]) -> tuple[int, int]:
+        initiator, responder = pair
+        if initiator == responder:
+            raise ValueError("an agent cannot interact with itself")
+        for index in pair:
+            if not 0 <= index < self._num_agents:
+                raise ValueError(f"agent index {index} out of range [0, {self._num_agents - 1}]")
+        return pair
+
+    def describe(self) -> dict[str, object]:
+        """Metadata for experiment reports."""
+        return {
+            "name": self.name,
+            "num_agents": self._num_agents,
+            "weakly_fair": self.is_weakly_fair,
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self._num_agents})"
+
+
+def all_ordered_pairs(num_agents: int) -> list[tuple[int, int]]:
+    """Every ordered pair of distinct agent indices, in lexicographic order."""
+    return [
+        (initiator, responder)
+        for initiator in range(num_agents)
+        for responder in range(num_agents)
+        if initiator != responder
+    ]

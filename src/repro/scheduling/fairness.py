@@ -1,0 +1,72 @@
+"""Empirical fairness checks for finite schedule prefixes.
+
+Weak fairness (Definition 1.2) is a property of infinite schedules, so it can
+never be verified from a finite run; what *can* be measured is how well a
+finite prefix covers the set of ordered pairs.  These helpers quantify that
+coverage and are used both in tests (the weakly fair schedulers must cover all
+pairs within a bounded window) and in the scheduler-sensitivity experiment
+(the unfair schedulers visibly do not).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.scheduling.base import Scheduler, all_ordered_pairs
+
+
+def collect_pairs(
+    scheduler: Scheduler, steps: int, states: Sequence[object] | None = None
+) -> list[tuple[int, int]]:
+    """Query ``scheduler`` for ``steps`` pairs against a static dummy population."""
+    if states is None:
+        states = [0] * scheduler.num_agents
+    return [scheduler.next_pair(step, states) for step in range(steps)]
+
+
+def covers_all_pairs(pairs: Iterable[tuple[int, int]], num_agents: int) -> bool:
+    """Whether every ordered pair of distinct agents appears at least once."""
+    seen = set(pairs)
+    return all(pair in seen for pair in all_ordered_pairs(num_agents))
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Coverage statistics of a finite schedule prefix."""
+
+    num_agents: int
+    steps: int
+    distinct_pairs_seen: int
+    total_pairs: int
+    min_pair_count: int
+    max_pair_count: int
+    missing_pairs: tuple[tuple[int, int], ...]
+
+    @property
+    def coverage(self) -> float:
+        """The fraction of ordered pairs seen at least once."""
+        return self.distinct_pairs_seen / self.total_pairs if self.total_pairs else 0.0
+
+    @property
+    def complete(self) -> bool:
+        """True when every ordered pair appeared at least once."""
+        return not self.missing_pairs
+
+
+def fairness_report(pairs: Sequence[tuple[int, int]], num_agents: int) -> FairnessReport:
+    """Summarize how a finite pair sequence covers the interaction graph."""
+    universe = all_ordered_pairs(num_agents)
+    counts: Counter[tuple[int, int]] = Counter(pairs)
+    missing = tuple(pair for pair in universe if pair not in counts)
+    observed = [counts[pair] for pair in universe]
+    return FairnessReport(
+        num_agents=num_agents,
+        steps=len(pairs),
+        distinct_pairs_seen=sum(1 for value in observed if value),
+        total_pairs=len(universe),
+        min_pair_count=min(observed) if observed else 0,
+        max_pair_count=max(observed) if observed else 0,
+        missing_pairs=missing,
+    )

@@ -1,0 +1,27 @@
+"""The uniform random scheduler.
+
+At every step an ordered pair of distinct agents is drawn uniformly at random.
+This is the standard scheduler of the probabilistic population-protocol
+literature (and of the chemical-reaction-network view: well-mixed solutions).
+With probability one every pair appears infinitely often, so the scheduler is
+weakly fair almost surely; experiments treat it as the fair "reference"
+scheduler and measure expected convergence time under it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.scheduling.base import Scheduler
+from repro.utils.rng import choose_distinct_pair
+
+
+class UniformRandomScheduler(Scheduler):
+    """Pick a uniformly random ordered pair of distinct agents at each step."""
+
+    name = "uniform-random"
+    is_weakly_fair = True  # almost surely
+
+    def next_pair(self, step: int, states: Sequence[Any]) -> tuple[int, int]:
+        return choose_distinct_pair(self._rng, self._num_agents)

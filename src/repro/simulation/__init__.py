@@ -1,0 +1,47 @@
+"""Simulation engines for population protocols.
+
+Two engines implement the same dynamics at different granularities:
+
+* :class:`repro.simulation.engine.AgentSimulation` — tracks every agent
+  individually and works with *any* scheduler, including adversarial and
+  adaptive ones.  This is the engine used for correctness experiments.
+* :class:`repro.simulation.config_engine.ConfigurationSimulation` — tracks
+  only the configuration (the multiset of states) and samples interactions as
+  the uniform random scheduler would.  Because agents are anonymous
+  (Definition 1.1), this is exact for the random scheduler and scales to large
+  populations; it backs the convergence-time benchmarks.
+
+On top of the engines, :mod:`repro.simulation.runner` provides the high-level
+``run_protocol`` / ``run_circles`` API the examples and the experiment harness
+use, and :mod:`repro.simulation.convergence` the stabilization/convergence
+criteria.
+"""
+
+from repro.simulation.population import Population, initial_states
+from repro.simulation.engine import AgentSimulation, StepRecord
+from repro.simulation.config_engine import ConfigurationSimulation
+from repro.simulation.convergence import (
+    ConvergenceCriterion,
+    OutputConsensus,
+    SilentConfiguration,
+    StableCircles,
+)
+from repro.simulation.trace import Trace, TraceEvent
+from repro.simulation.runner import RunResult, run_circles, run_protocol
+
+__all__ = [
+    "Population",
+    "initial_states",
+    "AgentSimulation",
+    "ConfigurationSimulation",
+    "StepRecord",
+    "ConvergenceCriterion",
+    "OutputConsensus",
+    "SilentConfiguration",
+    "StableCircles",
+    "Trace",
+    "TraceEvent",
+    "RunResult",
+    "run_protocol",
+    "run_circles",
+]

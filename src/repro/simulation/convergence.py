@@ -1,0 +1,153 @@
+"""Convergence and stabilization criteria.
+
+A population-protocol execution never "halts": agents keep interacting
+forever.  What the correctness definition requires is that the execution
+*stabilizes* — from some point on every agent outputs the correct answer,
+forever.  A finite simulation therefore needs a checkable criterion deciding
+when to stop.  Three criteria are provided:
+
+* :class:`OutputConsensus` — every agent currently reports the same color
+  (optionally a specific color).  Cheap, but a protocol can agree temporarily
+  and later change its mind; it is the right criterion for protocols without
+  a stronger structural notion of stability.
+* :class:`SilentConfiguration` — no interaction between any two present
+  states changes anything.  A silent configuration can never change again, so
+  this is a *sound* stopping rule for any protocol, at the cost of an
+  ``O(d²)`` check over distinct states.
+* :class:`StableCircles` — the Circles-specific criterion from the paper's
+  proof: no ket exchange is possible (Theorem 3.4's stabilization) and all
+  agents agree on an output that matches a diagonal agent's color
+  (Theorem 3.7's conclusion).  Unlike silence, Circles configurations can be
+  stable while output-copying interactions still formally "change" the state
+  of out-of-date agents, so this criterion converges earlier than silence
+  while still being permanent.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Hashable, Sequence
+from typing import Generic, TypeVar
+
+from repro.core.circles import CirclesProtocol
+from repro.core.invariants import diagonal_colors, is_stable_configuration, outputs_agree
+from repro.core.state import CirclesState
+from repro.protocols.base import PopulationProtocol
+from repro.utils.multiset import Multiset
+
+State = TypeVar("State", bound=Hashable)
+
+
+class ConvergenceCriterion(abc.ABC, Generic[State]):
+    """Decides whether a configuration counts as converged."""
+
+    name: str = "criterion"
+
+    @abc.abstractmethod
+    def is_converged(
+        self, protocol: PopulationProtocol[State], states: Sequence[State]
+    ) -> bool:
+        """Whether the indexed population ``states`` has converged."""
+
+    def is_converged_configuration(
+        self, protocol: PopulationProtocol[State], configuration: Multiset[State]
+    ) -> bool:
+        """Configuration-level variant; defaults to expanding the multiset."""
+        return self.is_converged(protocol, list(configuration.elements()))
+
+
+class OutputConsensus(ConvergenceCriterion[State]):
+    """All agents currently output the same color (optionally a target color)."""
+
+    name = "output-consensus"
+
+    def __init__(self, target: int | None = None) -> None:
+        self.target = target
+
+    def is_converged(
+        self, protocol: PopulationProtocol[State], states: Sequence[State]
+    ) -> bool:
+        if not states:
+            return False
+        outputs = {protocol.output(state) for state in states}
+        if len(outputs) != 1:
+            return False
+        if self.target is None:
+            return True
+        return next(iter(outputs)) == self.target
+
+    def is_converged_configuration(
+        self, protocol: PopulationProtocol[State], configuration: Multiset[State]
+    ) -> bool:
+        outputs = {protocol.output(state) for state in configuration.support()}
+        if len(outputs) != 1:
+            return False
+        if self.target is None:
+            return True
+        return next(iter(outputs)) == self.target
+
+
+class SilentConfiguration(ConvergenceCriterion[State]):
+    """No interaction between any two present states changes anything."""
+
+    name = "silent"
+
+    def is_converged(
+        self, protocol: PopulationProtocol[State], states: Sequence[State]
+    ) -> bool:
+        return self.is_converged_configuration(protocol, Multiset(states))
+
+    def is_converged_configuration(
+        self, protocol: PopulationProtocol[State], configuration: Multiset[State]
+    ) -> bool:
+        distinct = sorted(configuration.support(), key=repr)
+        for index, first in enumerate(distinct):
+            for second in distinct[index:]:
+                if first == second and configuration.count(first) < 2:
+                    continue
+                if protocol.transition(first, second).changed:
+                    return False
+                if protocol.transition(second, first).changed:
+                    return False
+        return True
+
+
+class StableCircles(ConvergenceCriterion[CirclesState]):
+    """The paper's stabilization + output-agreement criterion for Circles.
+
+    Converged means: (1) no pair of present bra-kets would exchange kets
+    (Theorem 3.4 stability), and (2) every agent outputs the same color, which
+    is the color of a present diagonal bra-ket (the configuration Theorem 3.7
+    proves is reached and never left).
+    """
+
+    name = "stable-circles"
+
+    def is_converged(
+        self, protocol: PopulationProtocol[CirclesState], states: Sequence[CirclesState]
+    ) -> bool:
+        if not isinstance(protocol, CirclesProtocol):
+            raise TypeError("StableCircles only applies to CirclesProtocol runs")
+        if not states:
+            return False
+        if not is_stable_configuration(protocol, states):
+            return False
+        agreed = outputs_agree(states)
+        if agreed is None:
+            return False
+        return agreed in diagonal_colors(states)
+
+    def is_converged_configuration(
+        self, protocol: PopulationProtocol[CirclesState], configuration: Multiset[CirclesState]
+    ) -> bool:
+        if not isinstance(protocol, CirclesProtocol):
+            raise TypeError("StableCircles only applies to CirclesProtocol runs")
+        support = list(configuration.support())
+        if not support:
+            return False
+        if not is_stable_configuration(protocol, support):
+            return False
+        outputs = {state.out for state in support}
+        if len(outputs) != 1:
+            return False
+        return next(iter(outputs)) in diagonal_colors(support)

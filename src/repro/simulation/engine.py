@@ -1,0 +1,165 @@
+"""The agent-level simulation engine.
+
+:class:`AgentSimulation` tracks every agent's state individually and asks a
+:class:`~repro.scheduling.base.Scheduler` for the interacting pair at every
+step.  It is the most general engine — any protocol, any scheduler (including
+adaptive adversaries) — at the cost of O(1) work per interaction plus the
+(configurable) cost of convergence checks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from repro.protocols.base import PopulationProtocol
+from repro.scheduling.base import Scheduler
+from repro.simulation.convergence import ConvergenceCriterion
+from repro.simulation.population import Population
+from repro.simulation.trace import Trace, TraceEvent
+
+State = TypeVar("State", bound=Hashable)
+
+#: A per-step metric: receives the current list of agent states.
+MetricFn = Callable[[Sequence[State]], object]
+
+
+@dataclass(frozen=True)
+class StepRecord(Generic[State]):
+    """The outcome of one simulated interaction."""
+
+    step: int
+    initiator: int
+    responder: int
+    before: tuple[State, State]
+    after: tuple[State, State]
+
+    @property
+    def changed(self) -> bool:
+        """Whether either agent's state changed."""
+        return self.before != self.after
+
+
+class AgentSimulation(Generic[State]):
+    """Simulate a protocol over an indexed population under a scheduler."""
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol[State],
+        population: Population[State] | Sequence[State],
+        scheduler: Scheduler,
+        trace: Trace | None = None,
+        metrics: Mapping[str, MetricFn] | None = None,
+    ) -> None:
+        """Create the simulation.
+
+        Args:
+            protocol: the protocol to run.
+            population: initial agent states (a :class:`Population` or a
+                plain sequence).
+            scheduler: decides which pair interacts at each step.
+            trace: optional trace recorder; when given, every step is
+                recorded together with the metric values.
+            metrics: optional named metric functions evaluated on the state
+                list at every recorded step.
+        """
+        self.protocol = protocol
+        self.population = (
+            population if isinstance(population, Population) else Population(list(population))
+        )
+        if scheduler.num_agents != len(self.population):
+            raise ValueError(
+                f"scheduler built for {scheduler.num_agents} agents but population has "
+                f"{len(self.population)}"
+            )
+        self.scheduler = scheduler
+        self.trace = trace
+        self.metrics = dict(metrics or {})
+        self.steps_taken = 0
+        self.interactions_changed = 0
+
+    # -- stepping ---------------------------------------------------------------
+
+    def step(self) -> StepRecord[State]:
+        """Execute one interaction and return what happened."""
+        states = self.population
+        pair = self.scheduler.next_pair(self.steps_taken, states)
+        initiator_index, responder_index = pair
+        before = (states[initiator_index], states[responder_index])
+        result = self.protocol.transition(*before)
+        after = result.as_pair()
+        if result.changed:
+            states[initiator_index] = result.initiator
+            states[responder_index] = result.responder
+            self.interactions_changed += 1
+        record = StepRecord(
+            step=self.steps_taken,
+            initiator=initiator_index,
+            responder=responder_index,
+            before=before,
+            after=after,
+        )
+        if self.trace is not None:
+            metric_values = {
+                name: metric(self.population.states()) for name, metric in self.metrics.items()
+            }
+            self.trace.record(
+                TraceEvent(
+                    step=record.step,
+                    initiator=initiator_index,
+                    responder=responder_index,
+                    changed=record.changed,
+                    metrics=metric_values,
+                )
+            )
+        self.steps_taken += 1
+        return record
+
+    def run(
+        self,
+        max_steps: int,
+        criterion: ConvergenceCriterion[State] | None = None,
+        check_interval: int | None = None,
+    ) -> bool:
+        """Run until the criterion holds or ``max_steps`` interactions elapsed.
+
+        Returns:
+            True when the criterion was satisfied (always False when no
+            criterion is given — the simulation simply runs ``max_steps``).
+        """
+        if max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        if criterion is None:
+            for _ in range(max_steps):
+                self.step()
+            return False
+        interval = check_interval or max(1, len(self.population) * (len(self.population) - 1))
+        if self._converged(criterion):
+            return True
+        executed = 0
+        while executed < max_steps:
+            burst = min(interval, max_steps - executed)
+            for _ in range(burst):
+                self.step()
+            executed += burst
+            if self._converged(criterion):
+                return True
+        return False
+
+    def _converged(self, criterion: ConvergenceCriterion[State]) -> bool:
+        return criterion.is_converged(self.protocol, self.population.states())
+
+    # -- inspection ----------------------------------------------------------------
+
+    def states(self) -> list[State]:
+        """A copy of the current agent states."""
+        return self.population.states()
+
+    def outputs(self) -> list[int]:
+        """Every agent's current output color."""
+        return self.population.outputs(self.protocol)
+
+    def output_counts(self) -> dict[int, int]:
+        """How many agents currently output each color."""
+        return self.population.output_counts(self.protocol)

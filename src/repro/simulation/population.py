@@ -1,0 +1,80 @@
+"""Populations: the bridge between input colors and protocol states.
+
+A *population* is the indexed collection of agent states; a *configuration*
+(Definition 1.1) is its anonymous view — the multiset of states.  The helpers
+here create initial populations from input color assignments and convert
+between the two views.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from typing import Generic, TypeVar
+
+from repro.protocols.base import PopulationProtocol
+from repro.utils.multiset import Multiset
+
+State = TypeVar("State", bound=Hashable)
+
+
+def initial_states(
+    protocol: PopulationProtocol[State], colors: Iterable[int]
+) -> list[State]:
+    """Map every input color through the protocol's input function."""
+    states = [protocol.initial_state(color) for color in colors]
+    if len(states) < 2:
+        raise ValueError("a population protocol needs at least two agents")
+    return states
+
+
+class Population(Generic[State]):
+    """An indexed population of agent states with a configuration view."""
+
+    __slots__ = ("_states",)
+
+    def __init__(self, states: Sequence[State]) -> None:
+        if len(states) < 2:
+            raise ValueError("a population needs at least two agents")
+        self._states = list(states)
+
+    @classmethod
+    def from_colors(
+        cls, protocol: PopulationProtocol[State], colors: Iterable[int]
+    ) -> "Population[State]":
+        """Create the initial population for ``protocol`` from input colors."""
+        return cls(initial_states(protocol, colors))
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __getitem__(self, index: int) -> State:
+        return self._states[index]
+
+    def __setitem__(self, index: int, state: State) -> None:
+        self._states[index] = state
+
+    def __iter__(self):
+        return iter(self._states)
+
+    def states(self) -> list[State]:
+        """A copy of the agent state list."""
+        return list(self._states)
+
+    def configuration(self) -> Multiset[State]:
+        """The anonymous view: the multiset of states (Definition 1.1)."""
+        return Multiset(self._states)
+
+    def outputs(self, protocol: PopulationProtocol[State]) -> list[int]:
+        """Every agent's current output color."""
+        return [protocol.output(state) for state in self._states]
+
+    def output_counts(self, protocol: PopulationProtocol[State]) -> dict[int, int]:
+        """How many agents currently output each color."""
+        counts: dict[int, int] = {}
+        for state in self._states:
+            color = protocol.output(state)
+            counts[color] = counts.get(color, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"Population(n={len(self._states)})"

@@ -1,0 +1,226 @@
+"""High-level run API.
+
+``run_protocol`` and ``run_circles`` wrap the engines, schedulers and
+convergence criteria into one call that the examples, the tests and the
+experiment harness all share.  The result is a :class:`RunResult` dataclass
+holding everything an experiment needs to report: whether the run converged,
+whether the final outputs are correct, how many interactions and ket
+exchanges it took, and the initial/final energies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass, field
+from typing import TypeVar
+
+from repro.core.circles import CirclesProtocol, CirclesVariant
+from repro.core.greedy_sets import has_unique_majority, predicted_majority
+from repro.core.potential import configuration_energy
+from repro.core.state import CirclesState
+from repro.protocols.base import PopulationProtocol
+from repro.scheduling.base import Scheduler
+from repro.scheduling.permutation import RandomPermutationScheduler
+from repro.simulation.convergence import ConvergenceCriterion, OutputConsensus, StableCircles
+from repro.simulation.engine import AgentSimulation
+from repro.simulation.population import Population
+from repro.simulation.trace import Trace
+from repro.utils.rng import RngLike
+
+State = TypeVar("State", bound=Hashable)
+
+
+def default_max_steps(num_agents: int, num_colors: int) -> int:
+    """A generous default interaction budget.
+
+    Under weakly fair schedulers Circles stabilizes after at most
+    ``O(n·k)`` ket exchanges, each realized within one scheduler cycle of
+    ``n·(n-1)`` interactions, so ``c·n²·(n + k)`` interactions are ample for
+    the population sizes the tests and examples use.  Benchmarks override
+    this with experiment-specific budgets.
+    """
+    return max(2_000, 4 * num_agents * num_agents * (num_agents + num_colors))
+
+
+@dataclass
+class RunResult:
+    """Everything a single protocol run reports."""
+
+    protocol_name: str
+    num_agents: int
+    num_colors: int
+    input_colors: tuple[int, ...]
+    scheduler_name: str
+    converged: bool
+    steps: int
+    interactions_changed: int
+    outputs: tuple[int, ...]
+    majority: int | None
+    correct: bool
+    final_states: tuple = ()
+    ket_exchanges: int | None = None
+    initial_energy: int | None = None
+    final_energy: int | None = None
+    trace: Trace | None = field(default=None, repr=False)
+
+    @property
+    def unanimous(self) -> bool:
+        """Whether every agent reports the same color."""
+        return len(set(self.outputs)) == 1
+
+    def summary(self) -> dict[str, object]:
+        """A flat dictionary for tabular reports."""
+        return {
+            "protocol": self.protocol_name,
+            "n": self.num_agents,
+            "k": self.num_colors,
+            "scheduler": self.scheduler_name,
+            "converged": self.converged,
+            "correct": self.correct,
+            "steps": self.steps,
+            "interactions_changed": self.interactions_changed,
+            "ket_exchanges": self.ket_exchanges,
+        }
+
+
+def _true_majority(colors: Sequence[int]) -> int | None:
+    return predicted_majority(colors) if has_unique_majority(colors) else None
+
+
+def run_protocol(
+    protocol: PopulationProtocol[State],
+    colors: Sequence[int],
+    scheduler: Scheduler | None = None,
+    criterion: ConvergenceCriterion[State] | None = None,
+    max_steps: int | None = None,
+    seed: RngLike = None,
+    record_trace: bool = False,
+    check_interval: int | None = None,
+) -> RunResult:
+    """Run any population protocol on an input color assignment.
+
+    Args:
+        protocol: the protocol to run.
+        colors: one input color per agent.
+        scheduler: defaults to :class:`RandomPermutationScheduler` (weakly
+            fair and randomized), seeded with ``seed``.
+        criterion: defaults to :class:`OutputConsensus`.
+        max_steps: interaction budget; defaults to
+            :func:`default_max_steps`.
+        seed: seed for the default scheduler (ignored when ``scheduler`` is
+            passed explicitly).
+        record_trace: record a full interaction trace on the result.
+        check_interval: how often (in interactions) the criterion is checked.
+
+    Returns:
+        A :class:`RunResult`; ``correct`` is True when the input has a unique
+        majority and every agent outputs it.
+    """
+    colors = tuple(colors)
+    population = Population.from_colors(protocol, colors)
+    if scheduler is None:
+        scheduler = RandomPermutationScheduler(len(population), seed=seed)
+    if criterion is None:
+        criterion = OutputConsensus()
+    budget = max_steps if max_steps is not None else default_max_steps(
+        len(population), protocol.num_colors
+    )
+    trace = Trace() if record_trace else None
+    simulation = AgentSimulation(protocol, population, scheduler, trace=trace)
+    converged = simulation.run(budget, criterion=criterion, check_interval=check_interval)
+    outputs = tuple(simulation.outputs())
+    majority = _true_majority(colors)
+    correct = majority is not None and all(output == majority for output in outputs)
+    return RunResult(
+        protocol_name=protocol.name,
+        num_agents=len(population),
+        num_colors=protocol.num_colors,
+        input_colors=colors,
+        scheduler_name=scheduler.name,
+        converged=converged,
+        steps=simulation.steps_taken,
+        interactions_changed=simulation.interactions_changed,
+        outputs=outputs,
+        majority=majority,
+        correct=correct,
+        final_states=tuple(simulation.states()),
+        trace=trace,
+    )
+
+
+def run_circles(
+    colors: Sequence[int],
+    num_colors: int | None = None,
+    scheduler: Scheduler | None = None,
+    variant: CirclesVariant | None = None,
+    max_steps: int | None = None,
+    seed: RngLike = None,
+    record_trace: bool = False,
+    check_interval: int | None = None,
+) -> RunResult:
+    """Run the Circles protocol on an input color assignment.
+
+    Uses the Circles-specific :class:`StableCircles` stopping criterion and
+    additionally reports the number of ket exchanges and the initial/final
+    configuration energies.
+
+    Args:
+        colors: one input color per agent.
+        num_colors: the protocol's ``k``; defaults to ``max(colors) + 1``.
+        scheduler: defaults to a seeded :class:`RandomPermutationScheduler`.
+        variant: ablation switches; defaults to the paper's protocol.
+        max_steps / seed / record_trace / check_interval: as in
+            :func:`run_protocol`.
+    """
+    colors = tuple(colors)
+    if not colors:
+        raise ValueError("at least one input color is required")
+    k = num_colors if num_colors is not None else max(colors) + 1
+    protocol = CirclesProtocol(k, variant=variant)
+    population = Population.from_colors(protocol, colors)
+    if scheduler is None:
+        scheduler = RandomPermutationScheduler(len(population), seed=seed)
+    budget = max_steps if max_steps is not None else default_max_steps(len(population), k)
+    trace = Trace() if record_trace else None
+
+    initial_states: Sequence[CirclesState] = population.states()
+    initial_energy = configuration_energy(initial_states, k)
+
+    simulation = AgentSimulation(protocol, population, scheduler, trace=trace)
+    criterion = StableCircles()
+
+    ket_exchanges = 0
+    interval = check_interval or max(1, len(population) * (len(population) - 1))
+    converged = criterion.is_converged(protocol, simulation.states())
+    executed = 0
+    while not converged and executed < budget:
+        burst = min(interval, budget - executed)
+        for _ in range(burst):
+            record = simulation.step()
+            if record.before[0].braket.ket != record.after[0].braket.ket:
+                ket_exchanges += 1
+        executed += burst
+        converged = criterion.is_converged(protocol, simulation.states())
+
+    final_states = tuple(simulation.states())
+    outputs = tuple(simulation.outputs())
+    majority = _true_majority(colors)
+    correct = majority is not None and all(output == majority for output in outputs)
+    return RunResult(
+        protocol_name=protocol.name,
+        num_agents=len(population),
+        num_colors=k,
+        input_colors=colors,
+        scheduler_name=scheduler.name,
+        converged=converged,
+        steps=simulation.steps_taken,
+        interactions_changed=simulation.interactions_changed,
+        outputs=outputs,
+        majority=majority,
+        correct=correct,
+        final_states=final_states,
+        ket_exchanges=ket_exchanges,
+        initial_energy=initial_energy,
+        final_energy=configuration_energy(final_states, k),
+        trace=trace,
+    )

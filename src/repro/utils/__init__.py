@@ -1,0 +1,20 @@
+"""Shared utilities for the reproduction library.
+
+This package contains small, dependency-free building blocks used across the
+library: a generic multiset, ordinal-number arithmetic (used by the
+stabilization potential of Theorem 3.4), deterministic random-number helpers
+and plain-text table rendering for experiment reports.
+"""
+
+from repro.utils.multiset import Multiset
+from repro.utils.ordinal import Ordinal
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.tables import format_table
+
+__all__ = [
+    "Multiset",
+    "Ordinal",
+    "make_rng",
+    "spawn_rngs",
+    "format_table",
+]

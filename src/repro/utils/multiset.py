@@ -1,0 +1,219 @@
+"""A general-purpose multiset.
+
+The paper defines configurations as multisets of states (Definition 1.1) and
+systematically generalizes subset, union and set subtraction to multisets.
+:class:`Multiset` provides exactly those operations, plus the conveniences
+needed by the analysis code (iteration with multiplicity, most-common
+elements, hashing of frozen snapshots).
+
+``collections.Counter`` already covers part of this, but it silently drops
+non-positive counts and its subset semantics differ from the paper's; a small
+dedicated class keeps the semantics explicit and well-tested.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Generic, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Multiset(Generic[T]):
+    """A multiset (bag) over hashable elements.
+
+    Counts are always strictly positive; inserting zero copies of an element
+    or removing all its copies deletes the key entirely, so two multisets with
+    the same contents always compare equal regardless of construction order.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, items: Iterable[T] | Mapping[T, int] | None = None) -> None:
+        self._counts: dict[T, int] = {}
+        if items is None:
+            return
+        if isinstance(items, Mapping):
+            for element, count in items.items():
+                self.add(element, count)
+        else:
+            for element in items:
+                self.add(element)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[T, int]) -> "Multiset[T]":
+        """Build a multiset from an element -> count mapping."""
+        return cls(counts)
+
+    def copy(self) -> "Multiset[T]":
+        """Return a shallow copy."""
+        new: Multiset[T] = Multiset()
+        new._counts = dict(self._counts)
+        return new
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, element: T, count: int = 1) -> None:
+        """Add ``count`` copies of ``element``.
+
+        Raises:
+            ValueError: if ``count`` is negative.
+        """
+        if count < 0:
+            raise ValueError(f"cannot add a negative count ({count})")
+        if count == 0:
+            return
+        self._counts[element] = self._counts.get(element, 0) + count
+
+    def remove(self, element: T, count: int = 1) -> None:
+        """Remove ``count`` copies of ``element``.
+
+        Raises:
+            KeyError: if the multiset holds fewer than ``count`` copies.
+            ValueError: if ``count`` is negative.
+        """
+        if count < 0:
+            raise ValueError(f"cannot remove a negative count ({count})")
+        present = self._counts.get(element, 0)
+        if present < count:
+            raise KeyError(
+                f"cannot remove {count} copies of {element!r}: only {present} present"
+            )
+        remaining = present - count
+        if remaining:
+            self._counts[element] = remaining
+        else:
+            self._counts.pop(element, None)
+
+    def discard(self, element: T, count: int = 1) -> int:
+        """Remove up to ``count`` copies of ``element``; return how many were removed."""
+        present = self._counts.get(element, 0)
+        removed = min(present, max(count, 0))
+        if removed:
+            self.remove(element, removed)
+        return removed
+
+    def replace(self, old: T, new: T) -> None:
+        """Remove one copy of ``old`` and add one copy of ``new``."""
+        self.remove(old)
+        self.add(new)
+
+    def clear(self) -> None:
+        """Remove every element."""
+        self._counts.clear()
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self, element: T) -> int:
+        """Return the multiplicity of ``element`` (zero if absent)."""
+        return self._counts.get(element, 0)
+
+    def __getitem__(self, element: T) -> int:
+        return self.count(element)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._counts
+
+    def __len__(self) -> int:
+        """Total number of elements, counted with multiplicity."""
+        return sum(self._counts.values())
+
+    def distinct(self) -> int:
+        """Number of distinct elements."""
+        return len(self._counts)
+
+    def support(self) -> set[T]:
+        """The set of distinct elements."""
+        return set(self._counts)
+
+    def counts(self) -> dict[T, int]:
+        """A copy of the element -> count mapping."""
+        return dict(self._counts)
+
+    def elements(self) -> Iterator[T]:
+        """Iterate over elements with multiplicity."""
+        for element, count in self._counts.items():
+            for _ in range(count):
+                yield element
+
+    def __iter__(self) -> Iterator[T]:
+        return self.elements()
+
+    def items(self) -> Iterator[tuple[T, int]]:
+        """Iterate over ``(element, count)`` pairs."""
+        return iter(self._counts.items())
+
+    def most_common(self, n: int | None = None) -> list[tuple[T, int]]:
+        """Return ``(element, count)`` pairs sorted by decreasing count."""
+        ranked = sorted(self._counts.items(), key=lambda item: (-item[1], repr(item[0])))
+        return ranked if n is None else ranked[:n]
+
+    def is_empty(self) -> bool:
+        """True when no elements are present."""
+        return not self._counts
+
+    # -- multiset algebra (the operations the paper generalizes) ------------
+
+    def issubset(self, other: "Multiset[T]") -> bool:
+        """Multiset inclusion: every element appears at most as often as in ``other``."""
+        return all(other.count(element) >= count for element, count in self._counts.items())
+
+    def __le__(self, other: "Multiset[T]") -> bool:
+        return self.issubset(other)
+
+    def union(self, other: "Multiset[T]") -> "Multiset[T]":
+        """Additive union (counts add up), written ``∪`` in the paper."""
+        result = self.copy()
+        for element, count in other._counts.items():
+            result.add(element, count)
+        return result
+
+    def __or__(self, other: "Multiset[T]") -> "Multiset[T]":
+        return self.union(other)
+
+    def __add__(self, other: "Multiset[T]") -> "Multiset[T]":
+        return self.union(other)
+
+    def difference(self, other: "Multiset[T]") -> "Multiset[T]":
+        """Multiset subtraction ``self \\ other`` (counts clamp at zero)."""
+        result: Multiset[T] = Multiset()
+        for element, count in self._counts.items():
+            remaining = count - other.count(element)
+            if remaining > 0:
+                result.add(element, remaining)
+        return result
+
+    def __sub__(self, other: "Multiset[T]") -> "Multiset[T]":
+        return self.difference(other)
+
+    def intersection(self, other: "Multiset[T]") -> "Multiset[T]":
+        """Element-wise minimum of counts."""
+        result: Multiset[T] = Multiset()
+        for element, count in self._counts.items():
+            shared = min(count, other.count(element))
+            if shared > 0:
+                result.add(element, shared)
+        return result
+
+    def __and__(self, other: "Multiset[T]") -> "Multiset[T]":
+        return self.intersection(other)
+
+    # -- equality / hashing --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def frozen(self) -> frozenset[tuple[T, int]]:
+        """A hashable snapshot of the multiset contents."""
+        return frozenset(self._counts.items())
+
+    def __hash__(self) -> int:  # pragma: no cover - Multiset is mutable
+        raise TypeError("Multiset is mutable and unhashable; use .frozen()")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{element!r}: {count}" for element, count in self.most_common())
+        return f"Multiset({{{inner}}})"

@@ -1,0 +1,31 @@
+"""Input workload generators.
+
+Population-protocol experiments are parameterized by the input color
+assignment.  The generators here produce the assignments used by the tests,
+the examples and the experiment harness: planted majorities with controlled
+margins, uniform and Zipf-distributed colors, near-ties and exact ties, and
+adversarially skewed inputs.  Every generator takes an explicit seed so runs
+are reproducible.
+"""
+
+from repro.workloads.distributions import (
+    adversarial_two_block,
+    exact_tie,
+    near_tie,
+    planted_majority,
+    uniform_random_colors,
+    zipf_colors,
+)
+from repro.workloads.generators import WorkloadSpec, generate_workload, workload_catalog
+
+__all__ = [
+    "planted_majority",
+    "uniform_random_colors",
+    "zipf_colors",
+    "near_tie",
+    "exact_tie",
+    "adversarial_two_block",
+    "WorkloadSpec",
+    "generate_workload",
+    "workload_catalog",
+]

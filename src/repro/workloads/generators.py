@@ -1,0 +1,65 @@
+"""Named workload specifications.
+
+The experiment harness refers to workloads by name ("planted-majority",
+"near-tie", ...) so that sweeps are configured with plain data.  A
+:class:`WorkloadSpec` couples a name with its parameters; ``generate_workload``
+resolves it to a concrete color assignment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from repro.utils.rng import RngLike
+from repro.workloads import distributions
+
+GeneratorFn = Callable[..., list[int]]
+
+#: The built-in workload generators, keyed by name.
+_GENERATORS: dict[str, GeneratorFn] = {
+    "planted-majority": distributions.planted_majority,
+    "uniform": distributions.uniform_random_colors,
+    "zipf": distributions.zipf_colors,
+    "near-tie": distributions.near_tie,
+    "exact-tie": distributions.exact_tie,
+    "adversarial-two-block": distributions.adversarial_two_block,
+}
+
+
+def workload_catalog() -> list[str]:
+    """The names of all built-in workloads."""
+    return sorted(_GENERATORS)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload plus its keyword parameters (``n`` and ``k`` excluded)."""
+
+    name: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def generate(self, num_agents: int, num_colors: int, seed: RngLike = None) -> list[int]:
+        """Produce a concrete color assignment for this spec."""
+        return generate_workload(self.name, num_agents, num_colors, seed=seed, **dict(self.params))
+
+
+def generate_workload(
+    name: str,
+    num_agents: int,
+    num_colors: int,
+    seed: RngLike = None,
+    **params: object,
+) -> list[int]:
+    """Generate the named workload.
+
+    Raises:
+        KeyError: for unknown workload names (the message lists valid names).
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(workload_catalog())}"
+        ) from None
+    return generator(num_agents, num_colors, seed=seed, **params)

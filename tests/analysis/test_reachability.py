@@ -1,0 +1,87 @@
+"""Tests for exhaustive configuration-space exploration."""
+
+from repro.analysis.reachability import (
+    configuration_key,
+    explore_configurations,
+    key_to_multiset,
+    successor_configurations,
+)
+from repro.core.circles import CirclesProtocol
+from repro.core.greedy_sets import predicted_stable_brakets
+from repro.core.invariants import braket_invariant_holds
+from repro.protocols.exact_majority import ExactMajorityProtocol
+from repro.utils.multiset import Multiset
+
+
+class TestKeys:
+    def test_roundtrip(self):
+        config = Multiset(["a", "a", "b"])
+        assert key_to_multiset(configuration_key(config)) == config
+
+
+class TestSuccessors:
+    def test_two_diagonals_have_one_successor(self):
+        protocol = CirclesProtocol(2)
+        config = Multiset([protocol.initial_state(0), protocol.initial_state(1)])
+        successors = successor_configurations(protocol, config)
+        assert len(successors) == 1
+
+    def test_same_state_pair_needs_two_copies(self):
+        protocol = ExactMajorityProtocol()
+        single = Multiset([protocol.initial_state(0), protocol.initial_state(1)])
+        # Only the cross pair can fire; the identical-state self pair must not be invented.
+        successors = successor_configurations(protocol, single)
+        assert len(successors) == 1
+
+    def test_silent_configuration_has_no_successors(self):
+        protocol = CirclesProtocol(2)
+        # Everyone identical: nothing can change.
+        config = Multiset([protocol.initial_state(1)] * 3)
+        assert successor_configurations(protocol, config) == set()
+
+
+class TestExploration:
+    def test_explores_small_circles_instance(self):
+        protocol = CirclesProtocol(2)
+        result = explore_configurations(protocol, [0, 0, 1])
+        assert not result.truncated
+        assert result.initial in result.configurations
+        assert result.num_configurations >= 2
+        # Every explored configuration satisfies the Lemma 3.3 conservation law.
+        for key in result.configurations:
+            assert braket_invariant_holds(list(key_to_multiset(key).elements()))
+
+    def test_terminal_configurations_are_silent(self):
+        protocol = ExactMajorityProtocol()
+        result = explore_configurations(protocol, [0, 0, 1])
+        terminals = result.terminal_configurations()
+        assert terminals
+        for key in terminals:
+            assert successor_configurations(protocol, key_to_multiset(key)) == set()
+
+    def test_reachable_from_is_reflexive_and_transitive_closure(self):
+        protocol = CirclesProtocol(2)
+        result = explore_configurations(protocol, [0, 1])
+        reachable = result.reachable_from(result.initial)
+        assert result.initial in reachable
+        assert reachable <= result.configurations
+
+    def test_truncation_flag(self):
+        protocol = CirclesProtocol(3)
+        result = explore_configurations(protocol, [0, 1, 2, 0, 1, 2], max_configurations=3)
+        assert result.truncated
+        assert result.num_configurations <= 4
+
+    def test_stable_prediction_is_reachable(self):
+        protocol = CirclesProtocol(3)
+        colors = [0, 0, 1, 2]
+        result = explore_configurations(protocol, colors)
+        predicted_brakets = predicted_stable_brakets(colors)
+        found = False
+        for key in result.configurations:
+            config = key_to_multiset(key)
+            brakets = Multiset(state.braket for state in config.elements())
+            if brakets == predicted_brakets:
+                found = True
+                break
+        assert found, "some reachable configuration realizes the Lemma 3.6 multiset"

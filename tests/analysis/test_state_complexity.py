@@ -1,0 +1,59 @@
+"""Tests for the state-complexity accounting (experiment E1)."""
+
+from repro.analysis.state_complexity import (
+    circles_bound,
+    declared_state_count,
+    lower_bound,
+    prior_upper_bound,
+    reachable_states,
+    reference_curves,
+    state_complexity_report,
+)
+from repro.core.circles import CirclesProtocol
+from repro.protocols.cancellation_plurality import CancellationPluralityProtocol
+
+
+class TestBounds:
+    def test_reference_curves(self):
+        rows = reference_curves([2, 3])
+        assert rows == [(2, 4, 8, 128), (3, 9, 27, 2187)]
+
+    def test_bounds_ordering(self):
+        for k in range(2, 10):
+            assert lower_bound(k) <= circles_bound(k) <= prior_upper_bound(k)
+
+    def test_declared_count_matches_protocol(self):
+        assert declared_state_count(CirclesProtocol(4)) == 64
+        assert declared_state_count(CancellationPluralityProtocol(4)) == 8
+
+
+class TestReachable:
+    def test_reachable_is_subset_of_declared(self):
+        protocol = CirclesProtocol(3)
+        observed = reachable_states(protocol, [0, 0, 1, 2], max_steps=500, seed=1)
+        assert observed <= set(protocol.states())
+        assert len(observed) <= protocol.state_count()
+
+    def test_reachable_contains_initial_states(self):
+        protocol = CirclesProtocol(3)
+        observed = reachable_states(protocol, [0, 0, 1], max_steps=50, seed=2)
+        assert protocol.initial_state(0) in observed
+        assert protocol.initial_state(1) in observed
+
+    def test_reachable_is_deterministic_under_seed(self):
+        protocol = CirclesProtocol(3)
+        first = reachable_states(protocol, [0, 1, 2, 2], max_steps=300, seed=7)
+        second = reachable_states(protocol, [0, 1, 2, 2], max_steps=300, seed=7)
+        assert first == second
+
+
+class TestReport:
+    def test_report_with_and_without_workload(self):
+        protocol = CirclesProtocol(3)
+        with_workload = state_complexity_report(protocol, [0, 0, 1], max_steps=200, seed=0)
+        assert with_workload.declared == 27
+        assert with_workload.reachable is not None
+        assert with_workload.reachable <= 27
+        without = state_complexity_report(protocol)
+        assert without.reachable is None
+        assert without.as_row()[0] == "circles"

@@ -1,0 +1,78 @@
+"""Tests for the statistics toolkit."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (
+    confidence_interval,
+    mean,
+    quantile,
+    std_dev,
+    summarize,
+    variance,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_variance_and_std(self):
+        assert variance([2, 2, 2]) == 0.0
+        assert variance([5]) == 0.0
+        assert math.isclose(variance([1, 2, 3]), 1.0)
+        assert math.isclose(std_dev([1, 2, 3]), 1.0)
+
+    def test_quantile(self):
+        values = [1, 2, 3, 4, 5]
+        assert quantile(values, 0.0) == 1
+        assert quantile(values, 0.5) == 3
+        assert quantile(values, 1.0) == 5
+        assert quantile(values, 0.25) == 2
+        assert quantile([7], 0.9) == 7
+        with pytest.raises(ValueError):
+            quantile(values, 1.5)
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+
+class TestConfidenceInterval:
+    def test_single_value_degenerates(self):
+        assert confidence_interval([4.0]) == (4.0, 4.0)
+
+    def test_contains_mean_and_shrinks_with_samples(self):
+        small = confidence_interval([1, 2, 3, 4, 5])
+        large = confidence_interval(list(range(1, 6)) * 20)
+        assert small[0] < 3 < small[1]
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1, 2], confidence=1.5)
+
+
+class TestSummary:
+    def test_summarize(self):
+        stats = summarize([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+        assert stats.count == 10
+        assert stats.mean == 5.5
+        assert stats.minimum == 1
+        assert stats.maximum == 10
+        assert stats.median == 5.5
+        assert stats.p90 > stats.median
+        assert len(stats.as_row()) == 7
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=40))
+def test_summary_is_internally_consistent(values):
+    stats = summarize(values)
+    # Tiny relative tolerance absorbs the one-ulp rounding of the mean.
+    slack = 1e-9 * max(1.0, abs(stats.minimum), abs(stats.maximum))
+    assert stats.minimum <= stats.median <= stats.maximum
+    assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+    assert stats.std >= 0

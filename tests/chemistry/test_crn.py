@@ -1,0 +1,64 @@
+"""Tests for the protocol-to-CRN translation."""
+
+import pytest
+
+from repro.chemistry.crn import CRN, Reaction, protocol_to_crn
+from repro.core.circles import CirclesProtocol
+from repro.protocols.approximate_majority import ApproximateMajorityProtocol, OpinionState
+from repro.protocols.exact_majority import ExactMajorityProtocol
+
+
+class TestReaction:
+    def test_str_mentions_both_sides(self):
+        reaction = Reaction(("a", "b"), ("c", "d"))
+        assert "a + b" in str(reaction)
+        assert "c + d" in str(reaction)
+
+
+class TestTranslation:
+    def test_approximate_majority_crn(self):
+        protocol = ApproximateMajorityProtocol()
+        crn = protocol_to_crn(protocol, [protocol.initial_state(0), protocol.initial_state(1)])
+        assert crn.num_species == 3  # 0, 1, blank
+        # Reactions: 0+1 -> 0+blank, 1+0 -> 1+blank, 0+blank -> 0+0, blank+0 -> 0+0,
+        #            1+blank -> 1+1, blank+1 -> 1+1.
+        assert crn.num_reactions == 6
+
+    def test_exact_majority_crn_species_closure(self):
+        protocol = ExactMajorityProtocol()
+        crn = protocol_to_crn(protocol, [protocol.initial_state(0), protocol.initial_state(1)])
+        assert crn.num_species == 4
+
+    def test_circles_crn_only_reachable_species(self):
+        protocol = CirclesProtocol(3)
+        initial = [protocol.initial_state(color) for color in (0, 1, 2)]
+        crn = protocol_to_crn(protocol, initial)
+        assert crn.num_species < protocol.state_count()
+        assert set(initial) <= crn.species
+
+    def test_reactions_only_for_changing_transitions(self):
+        protocol = CirclesProtocol(2)
+        initial = [protocol.initial_state(0), protocol.initial_state(1)]
+        crn = protocol_to_crn(protocol, initial)
+        for reaction in crn.reactions:
+            result = protocol.transition(*reaction.reactants)
+            assert result.changed
+            assert result.as_pair() == reaction.products
+
+    def test_reactions_involving(self):
+        protocol = ApproximateMajorityProtocol()
+        crn = protocol_to_crn(protocol, [OpinionState(0), OpinionState(1)])
+        blank_consumers = crn.reactions_involving(OpinionState(None))
+        assert blank_consumers
+        assert all(OpinionState(None) in reaction.reactants for reaction in blank_consumers)
+
+    def test_species_cap(self):
+        protocol = CirclesProtocol(4)
+        initial = [protocol.initial_state(color) for color in range(4)]
+        with pytest.raises(RuntimeError):
+            protocol_to_crn(protocol, initial, max_species=2)
+
+    def test_empty_crn(self):
+        crn = CRN()
+        assert crn.num_species == 0
+        assert crn.num_reactions == 0

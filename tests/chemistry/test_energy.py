@@ -1,0 +1,38 @@
+"""Tests for the energy-trajectory recorder (experiment E5)."""
+
+from repro.chemistry.energy import energy_trajectory
+from repro.core.circles import CirclesVariant, ExchangeRule
+from repro.core.potential import minimum_energy
+
+
+class TestEnergyTrajectory:
+    def test_starts_at_n_times_k_and_reaches_predicted_minimum(self):
+        colors = [0, 0, 0, 1, 1, 2]
+        trajectory = energy_trajectory(colors, seed=3, max_steps=4_000)
+        assert trajectory.num_agents == 6
+        assert trajectory.initial_energy == 6 * 3
+        assert trajectory.predicted_minimum == minimum_energy(colors, 3)
+        assert trajectory.reached_minimum
+        assert trajectory.final_energy == trajectory.predicted_minimum
+
+    def test_energy_is_monotone_under_paper_rule(self):
+        colors = [0, 1, 1, 2, 2, 2, 3]
+        trajectory = energy_trajectory(colors, seed=5, max_steps=3_000)
+        assert trajectory.is_monotone_nonincreasing()
+
+    def test_explicit_k_and_budget(self):
+        trajectory = energy_trajectory([0, 0, 1], num_colors=4, max_steps=100, seed=1)
+        assert trajectory.num_colors == 4
+        assert len(trajectory.energies) == 101
+
+    def test_sum_rule_ablation_also_relaxes_energy(self):
+        colors = [0, 0, 0, 1, 1, 2]
+        variant = CirclesVariant(exchange_rule=ExchangeRule.SUM_WEIGHT)
+        trajectory = energy_trajectory(colors, seed=7, max_steps=4_000, variant=variant)
+        assert trajectory.final_energy <= trajectory.initial_energy
+        assert trajectory.is_monotone_nonincreasing()
+
+    def test_single_color_population_is_already_minimal(self):
+        trajectory = energy_trajectory([1, 1, 1], num_colors=2, max_steps=50, seed=2)
+        assert trajectory.initial_energy == trajectory.predicted_minimum
+        assert trajectory.reached_minimum

@@ -1,0 +1,76 @@
+"""Tests for the Gillespie stochastic simulator."""
+
+import pytest
+
+from repro.chemistry.crn import CRN, Reaction, protocol_to_crn
+from repro.chemistry.gillespie import simulate_crn
+from repro.core.circles import CirclesProtocol
+from repro.core.greedy_sets import predicted_stable_brakets
+from repro.protocols.approximate_majority import ApproximateMajorityProtocol, OpinionState
+from repro.utils.multiset import Multiset
+
+
+def _ab_annihilation() -> CRN:
+    """A + B -> C + C with unit rate."""
+    return CRN(species={"A", "B", "C"}, reactions=[Reaction(("A", "B"), ("C", "C"))])
+
+
+class TestBasics:
+    def test_runs_to_exhaustion(self):
+        result = simulate_crn(_ab_annihilation(), {"A": 3, "B": 3}, seed=1)
+        assert result.exhausted
+        assert result.final_counts == {"C": 6}
+        assert result.reactions_fired == 3
+        assert result.time > 0
+
+    def test_respects_reaction_budget(self):
+        result = simulate_crn(_ab_annihilation(), {"A": 50, "B": 50}, max_reactions=5, seed=2)
+        assert not result.exhausted
+        assert result.reactions_fired == 5
+
+    def test_respects_time_budget(self):
+        result = simulate_crn(_ab_annihilation(), {"A": 5, "B": 5}, max_time=1e-12, seed=3)
+        assert result.reactions_fired == 0
+
+    def test_mass_conservation(self):
+        result = simulate_crn(_ab_annihilation(), {"A": 4, "B": 2}, seed=4)
+        assert sum(result.final_counts.values()) == 6
+        assert result.final_counts["A"] == 2  # the excess A can never react away
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_crn(_ab_annihilation(), {"A": -1}, seed=0)
+
+    def test_trajectory_recording(self):
+        result = simulate_crn(
+            _ab_annihilation(), {"A": 4, "B": 4}, seed=5, record_every=1
+        )
+        assert len(result.trajectory) >= 2
+        times = [time for time, _ in result.trajectory]
+        assert times == sorted(times)
+
+    def test_same_seed_same_result(self):
+        first = simulate_crn(_ab_annihilation(), {"A": 6, "B": 6}, seed=9)
+        second = simulate_crn(_ab_annihilation(), {"A": 6, "B": 6}, seed=9)
+        assert first.final_counts == second.final_counts
+        assert first.time == second.time
+
+
+class TestProtocolCRNs:
+    def test_approximate_majority_reaches_consensus(self):
+        protocol = ApproximateMajorityProtocol()
+        crn = protocol_to_crn(protocol, [OpinionState(0), OpinionState(1)])
+        result = simulate_crn(crn, {OpinionState(0): 20, OpinionState(1): 5}, seed=11)
+        assert result.exhausted
+        assert set(result.final_counts) == {OpinionState(0)}
+
+    def test_circles_crn_relaxes_to_predicted_configuration(self):
+        protocol = CirclesProtocol(3)
+        colors = [0, 0, 0, 1, 1, 2]
+        initial = Multiset(protocol.initial_state(color) for color in colors)
+        crn = protocol_to_crn(protocol, initial.support())
+        result = simulate_crn(crn, initial, max_reactions=100_000, seed=13)
+        final_brakets = Multiset(
+            state.braket for state in result.final_multiset().elements()
+        )
+        assert final_brakets == predicted_stable_brakets(colors)

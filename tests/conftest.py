@@ -1,0 +1,64 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.braket import BraKet
+from repro.core.circles import CirclesProtocol
+
+
+@pytest.fixture
+def circles_k3() -> CirclesProtocol:
+    """A Circles protocol instance with three colors."""
+    return CirclesProtocol(3)
+
+
+@pytest.fixture
+def circles_k5() -> CirclesProtocol:
+    """A Circles protocol instance with five colors."""
+    return CirclesProtocol(5)
+
+
+def color_lists(
+    min_agents: int = 2,
+    max_agents: int = 12,
+    max_colors: int = 5,
+    unique_majority: bool = False,
+):
+    """A hypothesis strategy producing input color assignments.
+
+    Colors are drawn in ``[0, max_colors - 1]``; when ``unique_majority`` is
+    set, assignments whose top count is shared are filtered out.
+    """
+    base = st.lists(
+        st.integers(min_value=0, max_value=max_colors - 1),
+        min_size=min_agents,
+        max_size=max_agents,
+    )
+    if not unique_majority:
+        return base
+
+    def has_unique_top(colors: list[int]) -> bool:
+        counts: dict[int, int] = {}
+        for color in colors:
+            counts[color] = counts.get(color, 0) + 1
+        top = max(counts.values())
+        return sum(1 for value in counts.values() if value == top) == 1
+
+    return base.filter(has_unique_top)
+
+
+def brakets(max_colors: int = 6):
+    """A hypothesis strategy producing a bra-ket together with its ``k``."""
+    return st.integers(min_value=2, max_value=max_colors).flatmap(
+        lambda k: st.tuples(
+            st.just(k),
+            st.builds(
+                BraKet,
+                st.integers(min_value=0, max_value=k - 1),
+                st.integers(min_value=0, max_value=k - 1),
+            ),
+        )
+    )

@@ -1,0 +1,135 @@
+"""Unit and property tests for bra-kets, weights and modulo ranges (§1, §2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.braket import (
+    BraKet,
+    braket_weight,
+    clockwise_distance,
+    exchange_decreases_min_weight,
+    exchange_kets,
+    mod_range_closed,
+    mod_range_open,
+)
+
+
+class TestWeight:
+    def test_diagonal_weighs_k(self):
+        assert braket_weight(BraKet(2, 2), 5) == 5
+        assert braket_weight(BraKet(0, 0), 3) == 3
+
+    def test_off_diagonal_is_clockwise_distance(self):
+        assert braket_weight(BraKet(1, 4), 5) == 3
+        assert braket_weight(BraKet(4, 1), 5) == 2  # wraps around the circle
+
+    def test_weight_range(self):
+        # Off-diagonal weights lie in [1, k-1]; diagonals weigh exactly k.
+        k = 7
+        for bra in range(k):
+            for ket in range(k):
+                weight = braket_weight(BraKet(bra, ket), k)
+                if bra == ket:
+                    assert weight == k
+                else:
+                    assert 1 <= weight <= k - 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            braket_weight(BraKet(0, 5), 5)
+        with pytest.raises(ValueError):
+            braket_weight(BraKet(-1, 0), 5)
+        with pytest.raises(ValueError):
+            braket_weight(BraKet(0, 0), 0)
+
+
+class TestExchange:
+    def test_exchange_swaps_kets_only(self):
+        first, second = exchange_kets(BraKet(0, 1), BraKet(2, 3))
+        assert first == BraKet(0, 3)
+        assert second == BraKet(2, 1)
+
+    def test_paper_example_two_diagonals_exchange(self):
+        # Two diagonal bra-kets of different colors always benefit from an exchange.
+        assert exchange_decreases_min_weight(BraKet(0, 0), BraKet(1, 1), 3)
+
+    def test_same_color_diagonals_do_not_exchange(self):
+        assert not exchange_decreases_min_weight(BraKet(1, 1), BraKet(1, 1), 3)
+
+    def test_exchange_that_would_increase_minimum_is_rejected(self):
+        # ⟨0|1⟩ and ⟨1|0⟩ (k=3) have weights 1 and 2; swapping gives two diagonals (3, 3).
+        assert not exchange_decreases_min_weight(BraKet(0, 1), BraKet(1, 0), 3)
+
+
+class TestModRanges:
+    def test_paper_examples(self):
+        assert mod_range_closed(2, 7, 10) == [2, 3, 4, 5, 6, 7]
+        assert mod_range_open(8, 3, 10) == [9, 0, 1, 2]
+
+    def test_wrapping_closed(self):
+        assert mod_range_closed(8, 3, 10) == [8, 9, 0, 1, 2, 3]
+
+    def test_singleton_closed(self):
+        assert mod_range_closed(4, 4, 10) == [4]
+
+    def test_open_adjacent_is_empty(self):
+        assert mod_range_open(3, 4, 10) == []
+
+    def test_open_same_endpoint_is_empty(self):
+        assert mod_range_open(4, 4, 10) == []
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            mod_range_closed(0, 1, 0)
+        with pytest.raises(ValueError):
+            mod_range_open(0, 1, 0)
+
+    def test_clockwise_distance(self):
+        assert clockwise_distance(8, 3, 10) == 5
+        assert clockwise_distance(3, 8, 10) == 5
+        assert clockwise_distance(4, 4, 10) == 0
+        with pytest.raises(ValueError):
+            clockwise_distance(0, 0, 0)
+
+
+# -- property tests ------------------------------------------------------------
+
+ks = st.integers(min_value=2, max_value=9)
+
+
+@given(ks, st.data())
+def test_weight_consistency_with_distance(k, data):
+    bra = data.draw(st.integers(min_value=0, max_value=k - 1))
+    ket = data.draw(st.integers(min_value=0, max_value=k - 1))
+    weight = braket_weight(BraKet(bra, ket), k)
+    if bra == ket:
+        assert weight == k
+    else:
+        assert weight == clockwise_distance(bra, ket, k)
+
+
+@given(ks, st.data())
+def test_closed_range_length_formula(k, data):
+    x = data.draw(st.integers(min_value=0, max_value=k - 1))
+    y = data.draw(st.integers(min_value=0, max_value=k - 1))
+    closed = mod_range_closed(x, y, k)
+    opened = mod_range_open(x, y, k)
+    assert len(closed) == (y - x) % k + 1
+    assert len(opened) == max((y - x) % k - 1, 0)
+    # The open range is the closed range without its endpoints.
+    assert opened == [value for value in closed if value not in (x, y)] or x == y
+
+
+@given(ks, st.data())
+def test_exchange_preserves_bras(k, data):
+    first = BraKet(
+        data.draw(st.integers(0, k - 1)), data.draw(st.integers(0, k - 1))
+    )
+    second = BraKet(
+        data.draw(st.integers(0, k - 1)), data.draw(st.integers(0, k - 1))
+    )
+    swapped_first, swapped_second = exchange_kets(first, second)
+    assert swapped_first.bra == first.bra
+    assert swapped_second.bra == second.bra
+    assert sorted([swapped_first.ket, swapped_second.ket]) == sorted([first.ket, second.ket])

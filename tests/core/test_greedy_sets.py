@@ -1,0 +1,159 @@
+"""Tests for greedy independent sets and circle bra-ket sets (Definitions 3.1 and 3.5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.braket import BraKet
+from repro.core.greedy_sets import (
+    circle_braket_set,
+    greedy_independent_sets,
+    has_unique_majority,
+    predicted_majority,
+    predicted_stable_brakets,
+    singleton_groups,
+)
+from repro.utils.multiset import Multiset
+
+
+class TestGreedyIndependentSets:
+    def test_definition_example(self):
+        # Input counts: color0 x3, color1 x2, color2 x1.
+        colors = [0, 0, 0, 1, 1, 2]
+        groups = greedy_independent_sets(colors)
+        assert groups == [{0, 1, 2}, {0, 1}, {0}]
+
+    def test_groups_are_nested_decreasing(self):
+        colors = [0, 1, 1, 2, 2, 2, 3]
+        groups = greedy_independent_sets(colors)
+        for earlier, later in zip(groups, groups[1:]):
+            assert later <= earlier
+
+    def test_number_of_groups_is_max_count(self):
+        colors = [4] * 7 + [1] * 3
+        assert len(greedy_independent_sets(colors)) == 7
+
+    def test_total_size_matches_population(self):
+        colors = [0, 0, 1, 2, 2, 2, 3]
+        groups = greedy_independent_sets(colors)
+        assert sum(len(group) for group in groups) == len(colors)
+
+    def test_empty_input(self):
+        assert greedy_independent_sets([]) == []
+
+    def test_rejects_negative_colors(self):
+        with pytest.raises(ValueError):
+            greedy_independent_sets([0, -1])
+
+
+class TestLemma32:
+    """Lemma 3.2: with a unique majority μ, G_q = {μ} and no other singleton."""
+
+    def test_last_group_is_majority_singleton(self):
+        colors = [0, 0, 0, 1, 1, 2]
+        groups = greedy_independent_sets(colors)
+        assert groups[-1] == {0}
+
+    def test_no_other_color_forms_a_singleton(self):
+        colors = [0, 0, 0, 0, 1, 1, 2, 2, 3]
+        groups = singleton_groups(colors)
+        assert groups, "the majority color must form at least one singleton group"
+        assert all(group == {0} for group in groups)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=14).filter(
+            lambda colors: has_unique_majority(colors)
+        )
+    )
+    def test_lemma_holds_on_random_unique_majority_inputs(self, colors):
+        majority = predicted_majority(colors)
+        groups = greedy_independent_sets(colors)
+        assert groups[-1] == {majority}
+        for group in groups:
+            if len(group) == 1:
+                assert group == {majority}
+
+
+class TestCircleBraketSets:
+    def test_singleton_gives_diagonal(self):
+        assert circle_braket_set({3}) == Multiset([BraKet(3, 3)])
+
+    def test_two_elements_give_two_crossed_brakets(self):
+        assert circle_braket_set({1, 4}) == Multiset([BraKet(1, 4), BraKet(4, 1)])
+
+    def test_cycle_follows_sorted_order(self):
+        result = circle_braket_set({0, 2, 5})
+        assert result == Multiset([BraKet(0, 2), BraKet(2, 5), BraKet(5, 0)])
+
+    def test_empty_group(self):
+        assert circle_braket_set(set()).is_empty()
+
+    def test_size_equals_group_size(self):
+        group = {0, 1, 3, 6, 7}
+        assert len(circle_braket_set(group)) == len(group)
+
+
+class TestPrediction:
+    def test_prediction_counts_match_population_size(self):
+        colors = [0, 0, 0, 1, 1, 2, 3, 3]
+        prediction = predicted_stable_brakets(colors)
+        assert len(prediction) == len(colors)
+
+    def test_prediction_example(self):
+        colors = [0, 0, 1]
+        prediction = predicted_stable_brakets(colors)
+        assert prediction == Multiset([BraKet(0, 1), BraKet(1, 0), BraKet(0, 0)])
+
+    def test_unique_majority_has_diagonal_in_prediction(self):
+        colors = [2, 2, 2, 0, 1]
+        prediction = predicted_stable_brakets(colors)
+        assert prediction.count(BraKet(2, 2)) >= 1
+
+    def test_tie_has_no_diagonal_in_prediction(self):
+        colors = [0, 0, 1, 1]
+        prediction = predicted_stable_brakets(colors)
+        assert all(not braket.is_diagonal() for braket in prediction.support())
+
+
+class TestMajority:
+    def test_unique_majority(self):
+        assert predicted_majority([0, 1, 1, 2]) == 1
+        assert has_unique_majority([0, 1, 1, 2])
+
+    def test_tie_raises(self):
+        with pytest.raises(ValueError):
+            predicted_majority([0, 0, 1, 1])
+        assert not has_unique_majority([0, 0, 1, 1])
+
+    def test_empty_input(self):
+        with pytest.raises(ValueError):
+            predicted_majority([])
+        assert not has_unique_majority([])
+
+
+# -- property tests --------------------------------------------------------------
+
+color_lists = st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=20)
+
+
+@given(color_lists)
+def test_group_sizes_sum_to_population(colors):
+    groups = greedy_independent_sets(colors)
+    assert sum(len(group) for group in groups) == len(colors)
+
+
+@given(color_lists)
+def test_color_appears_in_exactly_count_many_groups(colors):
+    groups = greedy_independent_sets(colors)
+    for color in set(colors):
+        assert sum(1 for group in groups if color in group) == colors.count(color)
+
+
+@given(color_lists)
+def test_prediction_preserves_bra_and_ket_counts(colors):
+    """The predicted stable multiset satisfies the Lemma 3.3 conservation law."""
+    prediction = predicted_stable_brakets(colors)
+    bras = sorted(braket.bra for braket in prediction.elements())
+    kets = sorted(braket.ket for braket in prediction.elements())
+    assert bras == sorted(colors)
+    assert kets == sorted(colors)

@@ -1,0 +1,86 @@
+"""Tests for the invariants and predicates used in the correctness proof."""
+
+from repro.core.braket import BraKet
+from repro.core.circles import CirclesProtocol
+from repro.core.invariants import (
+    all_output_correct,
+    braket_counts,
+    braket_invariant_holds,
+    diagonal_colors,
+    is_stable_configuration,
+    outputs_agree,
+)
+from repro.core.state import CirclesState
+
+
+class TestBraketInvariant:
+    def test_initial_configuration_satisfies_invariant(self):
+        states = [CirclesState.initial(color) for color in (0, 0, 1, 2)]
+        assert braket_invariant_holds(states)
+
+    def test_counts_are_per_color(self):
+        bras, kets = braket_counts([BraKet(0, 1), BraKet(1, 0), BraKet(0, 0)])
+        assert bras == {0: 2, 1: 1}
+        assert kets == {1: 1, 0: 2}
+
+    def test_violation_detected(self):
+        assert not braket_invariant_holds([BraKet(0, 1), BraKet(0, 1)])
+
+    def test_accepts_states_and_brakets(self):
+        as_states = [CirclesState(0, 1, 0), CirclesState(1, 0, 0)]
+        as_brakets = [BraKet(0, 1), BraKet(1, 0)]
+        assert braket_invariant_holds(as_states)
+        assert braket_invariant_holds(as_brakets)
+
+
+class TestStability:
+    def test_all_same_color_is_stable(self):
+        protocol = CirclesProtocol(3)
+        states = [CirclesState.initial(1)] * 4
+        assert is_stable_configuration(protocol, states)
+
+    def test_two_distinct_diagonals_are_unstable(self):
+        protocol = CirclesProtocol(3)
+        states = [CirclesState.initial(0), CirclesState.initial(1)]
+        assert not is_stable_configuration(protocol, states)
+
+    def test_predicted_circle_is_stable(self):
+        protocol = CirclesProtocol(3)
+        # The circle over {0, 1, 2} plus the majority diagonal: the Lemma 3.6 shape.
+        states = [
+            CirclesState(0, 1, 0),
+            CirclesState(1, 2, 0),
+            CirclesState(2, 0, 0),
+            CirclesState(0, 0, 0),
+        ]
+        assert is_stable_configuration(protocol, states)
+
+    def test_diagonal_plus_reachable_lighter_pair_is_unstable(self):
+        protocol = CirclesProtocol(4)
+        # ⟨0|0⟩ and ⟨1|2⟩: swapping gives ⟨0|2⟩ (2) and ⟨1|0⟩ (3): min 4,1 -> 2 ... not lower.
+        # Use ⟨0|0⟩ and ⟨3|1⟩ instead: swap gives ⟨0|1⟩ (1) and ⟨3|0⟩ (1): min drops to 1.
+        states = [CirclesState(0, 0, 0), CirclesState(3, 1, 3)]
+        assert not is_stable_configuration(protocol, states)
+
+
+class TestOutputs:
+    def test_outputs_agree(self):
+        states = [CirclesState(0, 1, 2), CirclesState(1, 0, 2)]
+        assert outputs_agree(states) == 2
+
+    def test_outputs_disagree(self):
+        states = [CirclesState(0, 1, 2), CirclesState(1, 0, 1)]
+        assert outputs_agree(states) is None
+
+    def test_outputs_agree_empty(self):
+        assert outputs_agree([]) is None
+
+    def test_all_output_correct(self):
+        states = [CirclesState(0, 1, 2), CirclesState(1, 0, 2)]
+        assert all_output_correct(states, 2)
+        assert not all_output_correct(states, 0)
+        assert not all_output_correct([], 0)
+
+    def test_diagonal_colors(self):
+        states = [CirclesState(0, 0, 0), CirclesState(1, 2, 0), CirclesState(2, 2, 0)]
+        assert diagonal_colors(states) == {0, 2}

@@ -1,0 +1,108 @@
+"""Tests for the ordinal potential g(C) and the scalar energy (Theorem 3.4, E5)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.braket import BraKet
+from repro.core.circles import CirclesProtocol
+from repro.core.potential import (
+    configuration_energy,
+    minimum_energy,
+    ordinal_potential,
+    sorted_weights,
+    weight_histogram,
+)
+from repro.core.state import CirclesState
+
+
+class TestSortedWeights:
+    def test_accepts_brakets_and_states(self):
+        k = 4
+        brakets = [BraKet(0, 0), BraKet(1, 3)]
+        states = [CirclesState(0, 0, 0), CirclesState(1, 3, 1)]
+        assert sorted_weights(brakets, k) == sorted_weights(states, k) == [2, 4]
+
+
+class TestOrdinalPotential:
+    def test_initial_configuration_has_maximal_potential(self):
+        k = 3
+        initial = [CirclesState.initial(color) for color in (0, 1, 2)]
+        potential = ordinal_potential(initial, k)
+        # All weights are k, so every coefficient is k.
+        assert all(potential.coefficient(exp) == k for exp in range(len(initial)))
+
+    def test_exchange_decreases_potential(self):
+        k = 3
+        protocol = CirclesProtocol(k)
+        before = [CirclesState(0, 0, 0), CirclesState(1, 1, 1), CirclesState(0, 0, 0)]
+        result = protocol.transition(before[0], before[1])
+        after = [result.initiator, result.responder, before[2]]
+        assert ordinal_potential(after, k) < ordinal_potential(before, k)
+
+    def test_reducing_the_minimum_beats_any_other_change(self):
+        k = 5
+        lighter = [BraKet(0, 1), BraKet(0, 0), BraKet(0, 0)]   # weights 1, 5, 5
+        heavier = [BraKet(0, 2), BraKet(0, 2), BraKet(0, 2)]   # weights 2, 2, 2
+        assert ordinal_potential(lighter, k) < ordinal_potential(heavier, k)
+
+
+class TestScalarEnergy:
+    def test_initial_energy_is_n_times_k(self):
+        k, n = 4, 6
+        initial = [CirclesState.initial(color % k) for color in range(n)]
+        assert configuration_energy(initial, k) == n * k
+
+    def test_minimum_energy_of_single_color_input(self):
+        # Every agent the same color: the stable configuration is all diagonals.
+        assert minimum_energy([2, 2, 2], 5) == 3 * 5
+
+    def test_minimum_energy_example(self):
+        # Input 0,0,1 (k=2): stable = {⟨0|1⟩, ⟨1|0⟩, ⟨0|0⟩} with weights 1, 1, 2.
+        assert minimum_energy([0, 0, 1], 2) == 4
+
+    def test_minimum_energy_never_exceeds_initial(self):
+        colors = [0, 0, 1, 2, 2, 3]
+        k = 4
+        assert minimum_energy(colors, k) <= len(colors) * k
+
+    def test_weight_histogram(self):
+        k = 3
+        histogram = weight_histogram([BraKet(0, 0), BraKet(0, 1), BraKet(1, 0)], k)
+        assert histogram == {3: 1, 1: 1, 2: 1}
+
+
+# -- property tests -----------------------------------------------------------------
+
+@given(
+    st.integers(min_value=2, max_value=6).flatmap(
+        lambda k: st.tuples(
+            st.just(k),
+            st.lists(
+                st.tuples(st.integers(0, k - 1), st.integers(0, k - 1)),
+                min_size=2,
+                max_size=10,
+            ),
+        )
+    )
+)
+def test_energy_equals_sum_of_sorted_weights(params):
+    k, pairs = params
+    brakets = [BraKet(bra, ket) for bra, ket in pairs]
+    assert configuration_energy(brakets, k) == sum(sorted_weights(brakets, k))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=12))
+def test_minimum_energy_is_at_most_initial_energy(colors):
+    k = 5
+    assert minimum_energy(colors, k) <= len(colors) * k
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=10))
+def test_potential_of_prediction_not_above_initial(colors):
+    """The predicted stable configuration never has larger potential than the start."""
+    from repro.core.greedy_sets import predicted_stable_brakets
+
+    k = 5
+    initial = [CirclesState.initial(color) for color in colors]
+    stable = list(predicted_stable_brakets(colors).elements())
+    assert ordinal_potential(stable, k) <= ordinal_potential(initial, k)

@@ -1,0 +1,29 @@
+"""Tests for the CirclesState triple."""
+
+from repro.core.braket import BraKet
+from repro.core.state import CirclesState
+
+
+class TestCirclesState:
+    def test_initial_is_diagonal_with_own_output(self):
+        state = CirclesState.initial(4)
+        assert state == CirclesState(4, 4, 4)
+        assert state.is_diagonal()
+        assert state.braket == BraKet(4, 4)
+
+    def test_with_ket_preserves_bra_and_out(self):
+        state = CirclesState(1, 1, 1).with_ket(3)
+        assert state == CirclesState(1, 3, 1)
+        assert not state.is_diagonal()
+
+    def test_with_out_preserves_braket(self):
+        state = CirclesState(1, 2, 1).with_out(2)
+        assert state == CirclesState(1, 2, 2)
+
+    def test_is_hashable_and_usable_in_multisets(self):
+        seen = {CirclesState(0, 1, 2), CirclesState(0, 1, 2), CirclesState(1, 0, 2)}
+        assert len(seen) == 2
+
+    def test_str_mentions_braket_and_output(self):
+        text = str(CirclesState(1, 2, 0))
+        assert "1" in text and "2" in text and "out=0" in text

@@ -1,0 +1,87 @@
+"""Smoke-level integration tests: every experiment runs end-to-end on tiny parameters.
+
+The benchmarks exercise the experiments at their reporting scale; these tests
+only assert that each experiment produces a well-formed result and that the
+headline qualitative claims hold at toy scale.
+"""
+
+from repro.experiments import e1_state_complexity, e2_stabilization, e3_correctness
+from repro.experiments import e4_stable_structure, e5_energy, e6_convergence
+from repro.experiments import e7_extensions, e8_scheduler_sensitivity
+
+
+class TestE1:
+    def test_table_shape_and_cubic_column(self):
+        result = e1_state_complexity.run(ks=(2, 3), reachable_num_agents=8, reachable_steps=200)
+        assert result.experiment_id == "E1"
+        assert result.column("k") == [2, 3]
+        assert result.column("circles (declared)") == [8, 27]
+        assert result.column("lower bound k^2") == [4, 9]
+        assert result.column("prior upper bound k^7") == [128, 2187]
+        touched = result.column("circles (touched)")
+        assert all(value <= declared for value, declared in zip(touched, [8, 27]))
+
+
+class TestE2:
+    def test_exchanges_finite_and_potential_decreasing(self):
+        result = e2_stabilization.run(populations=(6, 10), ks=(3,), seed=5)
+        assert all(result.column("g(C) strictly decreasing"))
+        assert all(value is not None for value in result.column("interactions to stability"))
+        assert all(value < 10_000 for value in result.column("ket exchanges"))
+
+
+class TestE3:
+    def test_all_checks_pass(self):
+        result = e3_correctness.run(
+            small_inputs=((0, 0, 1), (0, 1, 1, 2)),
+            schedulers=("uniform-random", "round-robin"),
+            num_agents=8,
+            num_colors=3,
+            trials=2,
+            seed=3,
+        )
+        assert all(result.column("correct"))
+
+
+class TestE4:
+    def test_structure_matches_prediction(self):
+        result = e4_stable_structure.run(populations=(8,), ks=(3,), trials=2, seed=1)
+        assert result.column("bra/ket invariant held") == ["2/2"]
+        assert result.column("stable multiset = union of f(G_p)") == ["2/2"]
+
+
+class TestE5:
+    def test_energy_reaches_minimum_monotonically(self):
+        result = e5_energy.run(populations=(8,), ks=(4,), seed=2)
+        finals = result.column("final (paper rule)")
+        minima = result.column("predicted minimum")
+        assert finals == minima
+        assert all(result.column("monotone"))
+        assert result.column("final (Gillespie SSA)") == minima
+
+
+class TestE6:
+    def test_circles_always_correct_in_comparison(self):
+        result = e6_convergence.run(populations=(10,), ks=(2,), trials=2, seed=4, adversarial=False)
+        rows = {row[0]: row for row in result.rows}
+        assert rows["circles"][-1] == "2/2"
+        assert rows["exact-majority"][-1] == "2/2"
+
+
+class TestE7:
+    def test_extension_state_counts(self):
+        result = e7_extensions.run(ks=(3,), num_agents=10, trials=1, seed=6)
+        assert result.column("tie-report states (2k^3)") == [54]
+        assert result.column("ordering states (2k^2)") == [18]
+        assert result.column("unordered states (2k^4)") == [162]
+        assert result.column("tie-report correct (unique majority)") == [1.0]
+
+
+class TestE8:
+    def test_fair_schedulers_correct_unfair_not(self):
+        result = e8_scheduler_sensitivity.run(num_agents=9, trials=2, seed=7)
+        rows = {row[0]: row for row in result.rows}
+        assert rows["uniform-random"][-1] == "2/2"
+        assert rows["round-robin"][-1] == "2/2"
+        assert rows["greedy-stall"][-1] == "2/2"
+        assert rows["isolation"][-1] == "0/2"

@@ -1,0 +1,62 @@
+"""Tests for the experiment harness plumbing."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    experiment_catalog,
+    get_experiment,
+    register_experiment,
+)
+
+
+class TestExperimentResult:
+    def _result(self) -> ExperimentResult:
+        result = ExperimentResult("E0", "demo", headers=("k", "states"))
+        result.add_row(2, 8)
+        result.add_row(3, 27)
+        result.add_note("cubic growth")
+        return result
+
+    def test_add_row_validates_length(self):
+        result = self._result()
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_to_text(self):
+        text = self._result().to_text()
+        assert "[E0] demo" in text
+        assert "27" in text
+        assert "note: cubic growth" in text
+
+    def test_to_markdown(self):
+        markdown = self._result().to_markdown()
+        assert markdown.startswith("### E0 — demo")
+        assert "| 3 | 27 |" in markdown
+        assert "* cubic growth" in markdown
+
+    def test_column(self):
+        result = self._result()
+        assert result.column("states") == [8, 27]
+        with pytest.raises(KeyError):
+            result.column("missing")
+
+
+class TestRegistry:
+    def test_builtin_experiments_registered(self):
+        assert {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} <= set(experiment_catalog())
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_experiment("e1") is get_experiment("E1")
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_register_custom(self):
+        def runner() -> ExperimentResult:
+            return ExperimentResult("EX", "custom", headers=("a",))
+
+        register_experiment("EX-custom-test", runner)
+        assert "EX-CUSTOM-TEST" in experiment_catalog()
+        assert get_experiment("ex-custom-test") is runner

@@ -1,0 +1,41 @@
+"""Tests for the Markdown report generator."""
+
+from repro.experiments import register_experiment
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import generate_report, main
+
+
+def _toy_experiment() -> ExperimentResult:
+    result = ExperimentResult("E0-TOY", "toy experiment", headers=("k", "value"))
+    result.add_row(2, 8)
+    result.add_note("just a fixture")
+    return result
+
+
+register_experiment("E0-TOY", _toy_experiment)
+
+
+class TestGenerateReport:
+    def test_selected_experiment_renders(self):
+        report = generate_report(["E0-TOY"])
+        assert report.startswith("# Experiment report")
+        assert "### E0-TOY — toy experiment" in report
+        assert "| 2 | 8 |" in report
+        assert "just a fixture" in report
+
+    def test_multiple_sections_in_order(self):
+        report = generate_report(["E0-TOY", "E0-TOY"])
+        assert report.count("### E0-TOY") == 2
+
+
+class TestCli:
+    def test_prints_to_stdout(self, capsys):
+        assert main(["E0-TOY"]) == 0
+        captured = capsys.readouterr()
+        assert "toy experiment" in captured.out
+
+    def test_writes_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main([str(target), "E0-TOY"]) == 0
+        assert "toy experiment" in target.read_text(encoding="utf-8")
+        assert str(target) in capsys.readouterr().out

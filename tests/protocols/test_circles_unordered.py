@@ -1,0 +1,85 @@
+"""Tests for the unordered-setting adaptation of Circles (§4)."""
+
+from repro.core.greedy_sets import predicted_majority
+from repro.protocols.circles_unordered import UnorderedCirclesProtocol, UnorderedState
+from repro.scheduling.random_uniform import UniformRandomScheduler
+from repro.simulation.engine import AgentSimulation
+from repro.simulation.population import Population
+
+
+class TestDefinition:
+    def test_state_count_is_2k_fourth(self):
+        for k in (2, 3, 4):
+            protocol = UnorderedCirclesProtocol(k)
+            assert protocol.state_count() == 2 * k**4
+            assert sum(1 for _ in protocol.states()) == 2 * k**4
+
+    def test_initial_state(self):
+        protocol = UnorderedCirclesProtocol(3)
+        state = protocol.initial_state(2)
+        assert state == UnorderedState(2, True, 0, 0, 2)
+        assert state.is_diagonal()
+
+    def test_output_is_stored_color(self):
+        assert UnorderedCirclesProtocol(3).output(UnorderedState(1, False, 0, 2, 2)) == 2
+
+
+class TestOrderingLayer:
+    def test_same_color_leader_election_demotes_responder(self):
+        protocol = UnorderedCirclesProtocol(3)
+        a = UnorderedState(1, True, 0, 0, 1)
+        b = UnorderedState(1, True, 0, 0, 1)
+        result = protocol.transition(a, b)
+        assert result.initiator.leader
+        assert not result.responder.leader
+
+    def test_label_collision_reinitializes_circles_layer(self):
+        protocol = UnorderedCirclesProtocol(3)
+        a = UnorderedState(0, True, 1, 2, 0)
+        b = UnorderedState(2, True, 1, 0, 2)
+        result = protocol.transition(a, b)
+        # The responder bumps its label to 2 and re-initializes to the diagonal ⟨2|2⟩.
+        assert result.responder.bra_label == 2
+        assert result.responder.ket_label == 2
+        assert result.responder.out == b.color
+
+    def test_follower_adopts_leader_label_and_reinitializes(self):
+        protocol = UnorderedCirclesProtocol(3)
+        leader = UnorderedState(1, True, 2, 2, 1)
+        follower = UnorderedState(1, False, 0, 1, 0)
+        result = protocol.transition(leader, follower)
+        assert result.responder.bra_label == 2
+        assert result.responder.ket_label == 2
+        assert result.responder.out == follower.color
+
+
+class TestCirclesLayer:
+    def test_diagonal_broadcasts_its_color_not_its_label(self):
+        protocol = UnorderedCirclesProtocol(3)
+        # Distinct colors, distinct labels: the ordering layer does nothing and the
+        # diagonal initiator broadcasts its *color* (2) as the output.
+        a = UnorderedState(2, True, 1, 1, 2)
+        b = UnorderedState(0, False, 0, 2, 0)
+        result = protocol.transition(a, b)
+        assert result.responder.out == 2 or result.initiator.out == 2
+
+    def test_ket_exchange_on_labels(self):
+        protocol = UnorderedCirclesProtocol(3)
+        a = UnorderedState(0, False, 0, 0, 0)
+        b = UnorderedState(1, False, 1, 1, 1)
+        result = protocol.transition(a, b)
+        assert result.initiator.ket_label == 1
+        assert result.responder.ket_label == 0
+
+
+class TestBehaviour:
+    def test_converges_to_majority_under_random_scheduler(self):
+        colors = [0, 0, 0, 0, 1, 1, 2]
+        k = 3
+        protocol = UnorderedCirclesProtocol(k)
+        population = Population.from_colors(protocol, colors)
+        scheduler = UniformRandomScheduler(len(colors), seed=17)
+        simulation = AgentSimulation(protocol, population, scheduler)
+        simulation.run(400 * len(colors) * len(colors))
+        majority = predicted_majority(colors)
+        assert set(simulation.outputs()) == {majority}

@@ -1,0 +1,57 @@
+"""Tests for the protocol registry."""
+
+import pytest
+
+from repro.core.circles import CirclesProtocol
+from repro.protocols.registry import DEFAULT_REGISTRY, ProtocolRegistry, get_protocol
+
+
+class TestProtocolRegistry:
+    def test_register_and_create(self):
+        registry = ProtocolRegistry()
+        registry.register("circles", CirclesProtocol)
+        protocol = registry.create("circles", 4)
+        assert isinstance(protocol, CirclesProtocol)
+        assert protocol.num_colors == 4
+
+    def test_duplicate_registration_rejected(self):
+        registry = ProtocolRegistry()
+        registry.register("x", CirclesProtocol)
+        with pytest.raises(ValueError):
+            registry.register("x", CirclesProtocol)
+        registry.register("x", CirclesProtocol, overwrite=True)
+
+    def test_unknown_name(self):
+        registry = ProtocolRegistry()
+        with pytest.raises(KeyError):
+            registry.create("missing")
+
+    def test_contains_and_names(self):
+        registry = ProtocolRegistry()
+        registry.register("b", CirclesProtocol)
+        registry.register("a", CirclesProtocol)
+        assert "a" in registry
+        assert registry.names() == ["a", "b"]
+        assert list(registry) == ["a", "b"]
+
+
+class TestDefaultRegistry:
+    def test_builtins_are_registered(self):
+        expected = {
+            "circles",
+            "circles-tie-report",
+            "circles-unordered",
+            "color-ordering",
+            "exact-majority",
+            "approximate-majority",
+            "cancellation-plurality",
+            "tournament-plurality",
+            "leader-election",
+            "per-color-leader-election",
+        }
+        assert expected <= set(DEFAULT_REGISTRY.names())
+
+    def test_get_protocol_builds_circles(self):
+        protocol = get_protocol("circles", 5)
+        assert isinstance(protocol, CirclesProtocol)
+        assert protocol.state_count() == 125

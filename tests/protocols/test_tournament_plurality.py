@@ -1,0 +1,106 @@
+"""Tests for the tournament-plurality comparator (the naive always-correct baseline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy_sets import has_unique_majority, predicted_majority
+from repro.protocols.tournament_plurality import (
+    TournamentPluralityProtocol,
+    num_pairs,
+    pair_index,
+)
+from repro.simulation.convergence import OutputConsensus
+from repro.simulation.runner import run_protocol
+
+
+class TestPairIndex:
+    def test_enumerates_all_pairs_without_collision(self):
+        k = 6
+        indices = {pair_index(a, b, k) for a in range(k) for b in range(k) if a != b}
+        assert indices == set(range(num_pairs(k)))
+
+    def test_symmetric_in_arguments(self):
+        assert pair_index(2, 5, 7) == pair_index(5, 2, 7)
+
+    def test_rejects_equal_colors(self):
+        with pytest.raises(ValueError):
+            pair_index(3, 3, 5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pair_index(0, 9, 5)
+
+
+class TestDefinition:
+    def test_state_count_formula(self):
+        for k in (2, 3, 4):
+            protocol = TournamentPluralityProtocol(k)
+            assert protocol.state_count() == k * 2 ** (k - 1) * 3 ** num_pairs(k)
+
+    def test_declared_enumeration_matches_formula_for_small_k(self):
+        protocol = TournamentPluralityProtocol(3)
+        assert sum(1 for _ in protocol.states()) == protocol.state_count()
+
+    def test_state_count_explodes_much_faster_than_circles(self):
+        for k in range(2, 8):
+            assert TournamentPluralityProtocol(k).state_count() > k**3
+
+    def test_initial_state(self):
+        protocol = TournamentPluralityProtocol(3)
+        state = protocol.initial_state(1)
+        assert state.color == 1
+        assert state.tokens == frozenset({0, 2})
+        # The agent initially believes its own color wins its own pairs.
+        assert protocol.output(state) == 1
+
+
+class TestTransitions:
+    def test_cancellation_removes_both_tokens(self):
+        protocol = TournamentPluralityProtocol(3)
+        a, b = protocol.initial_state(0), protocol.initial_state(1)
+        result = protocol.transition(a, b)
+        assert 1 not in result.initiator.tokens
+        assert 0 not in result.responder.tokens
+
+    def test_no_cancellation_for_same_color(self):
+        protocol = TournamentPluralityProtocol(3)
+        a, b = protocol.initial_state(2), protocol.initial_state(2)
+        result = protocol.transition(a, b)
+        assert result.initiator.tokens == a.tokens
+        assert result.responder.tokens == b.tokens
+
+    def test_surviving_token_advertises_verdict(self):
+        protocol = TournamentPluralityProtocol(3)
+        holder = protocol.initial_state(0)
+        observer = protocol.initial_state(2)
+        # Cancel the {0, 2} pair first so only the {0, 1} token survives on the holder.
+        first = protocol.transition(holder, observer)
+        holder2 = first.initiator
+        fresh_observer = protocol.initial_state(2)
+        second = protocol.transition(holder2, fresh_observer)
+        index = pair_index(0, 1, 3)
+        assert second.responder.beliefs[index] == 0
+
+    def test_symmetry_declared(self):
+        assert TournamentPluralityProtocol(3).is_symmetric()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=2), min_size=3, max_size=9).filter(
+        has_unique_majority
+    ),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_always_correct_on_small_inputs(colors, seed):
+    """The comparator must agree with the true plurality under fair scheduling."""
+    protocol = TournamentPluralityProtocol(3)
+    outcome = run_protocol(
+        protocol,
+        colors,
+        criterion=OutputConsensus(target=predicted_majority(colors)),
+        seed=seed,
+    )
+    assert outcome.converged
+    assert outcome.correct

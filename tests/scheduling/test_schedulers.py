@@ -1,0 +1,103 @@
+"""Tests for the fair schedulers (uniform random, round-robin, permutation)."""
+
+import pytest
+
+from repro.scheduling.base import Scheduler, all_ordered_pairs
+from repro.scheduling.fairness import collect_pairs, covers_all_pairs
+from repro.scheduling.permutation import RandomPermutationScheduler
+from repro.scheduling.random_uniform import UniformRandomScheduler
+from repro.scheduling.round_robin import RoundRobinScheduler
+
+
+class TestBase:
+    def test_all_ordered_pairs(self):
+        pairs = all_ordered_pairs(3)
+        assert len(pairs) == 6
+        assert (0, 0) not in pairs
+        assert (2, 1) in pairs
+
+    def test_requires_two_agents(self):
+        with pytest.raises(ValueError):
+            UniformRandomScheduler(1)
+
+    def test_describe(self):
+        info = RoundRobinScheduler(4).describe()
+        assert info == {"name": "round-robin", "num_agents": 4, "weakly_fair": True}
+
+
+class TestUniformRandom:
+    def test_pairs_valid(self):
+        scheduler = UniformRandomScheduler(5, seed=1)
+        for step in range(100):
+            a, b = scheduler.next_pair(step, [None] * 5)
+            assert a != b
+            assert 0 <= a < 5 and 0 <= b < 5
+
+    def test_deterministic_under_seed(self):
+        first = collect_pairs(UniformRandomScheduler(6, seed=9), 50)
+        second = collect_pairs(UniformRandomScheduler(6, seed=9), 50)
+        assert first == second
+
+    def test_eventually_covers_all_pairs(self):
+        pairs = collect_pairs(UniformRandomScheduler(4, seed=3), 600)
+        assert covers_all_pairs(pairs, 4)
+
+
+class TestRoundRobin:
+    def test_cycle_contains_every_pair_exactly_once(self):
+        scheduler = RoundRobinScheduler(4)
+        pairs = collect_pairs(scheduler, scheduler.cycle_length)
+        assert sorted(pairs) == sorted(all_ordered_pairs(4))
+
+    def test_cycle_repeats(self):
+        scheduler = RoundRobinScheduler(3)
+        first_cycle = collect_pairs(scheduler, scheduler.cycle_length)
+        second_cycle = collect_pairs(scheduler, scheduler.cycle_length)
+        assert first_cycle == second_cycle
+
+    def test_shuffle_once_changes_order_not_contents(self):
+        plain = RoundRobinScheduler(4)
+        shuffled = RoundRobinScheduler(4, seed=11, shuffle_once=True)
+        plain_pairs = collect_pairs(plain, plain.cycle_length)
+        shuffled_pairs = collect_pairs(shuffled, shuffled.cycle_length)
+        assert sorted(plain_pairs) == sorted(shuffled_pairs)
+        assert plain_pairs != shuffled_pairs
+
+    def test_reset(self):
+        scheduler = RoundRobinScheduler(3)
+        first = scheduler.next_pair(0, [None] * 3)
+        scheduler.next_pair(1, [None] * 3)
+        scheduler.reset()
+        assert scheduler.next_pair(0, [None] * 3) == first
+
+
+class TestRandomPermutation:
+    def test_every_round_contains_every_pair_once(self):
+        scheduler = RandomPermutationScheduler(4, seed=2)
+        for _ in range(3):
+            round_pairs = collect_pairs(scheduler, scheduler.round_length)
+            assert sorted(round_pairs) == sorted(all_ordered_pairs(4))
+
+    def test_rounds_differ(self):
+        scheduler = RandomPermutationScheduler(5, seed=4)
+        first = collect_pairs(scheduler, scheduler.round_length)
+        second = collect_pairs(scheduler, scheduler.round_length)
+        assert first != second
+
+    def test_declared_weakly_fair(self):
+        assert RandomPermutationScheduler(3).is_weakly_fair
+        assert RoundRobinScheduler(3).is_weakly_fair
+        assert UniformRandomScheduler(3).is_weakly_fair
+
+
+class TestValidation:
+    def test_validate_pair_helper(self):
+        class _Fixed(Scheduler):
+            name = "fixed"
+
+            def next_pair(self, step, states):
+                return self._validate_pair((0, 0))
+
+        scheduler = _Fixed(3)
+        with pytest.raises(ValueError):
+            scheduler.next_pair(0, [None] * 3)

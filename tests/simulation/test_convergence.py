@@ -1,0 +1,95 @@
+"""Tests for the convergence criteria."""
+
+import pytest
+
+from repro.core.circles import CirclesProtocol
+from repro.core.state import CirclesState
+from repro.protocols.exact_majority import ExactMajorityProtocol, MajorityState
+from repro.simulation.convergence import OutputConsensus, SilentConfiguration, StableCircles
+from repro.utils.multiset import Multiset
+
+
+class TestOutputConsensus:
+    def test_agreement_detected(self):
+        protocol = CirclesProtocol(3)
+        states = [CirclesState(0, 1, 2), CirclesState(1, 0, 2)]
+        assert OutputConsensus().is_converged(protocol, states)
+        assert OutputConsensus(target=2).is_converged(protocol, states)
+        assert not OutputConsensus(target=0).is_converged(protocol, states)
+
+    def test_disagreement_detected(self):
+        protocol = CirclesProtocol(3)
+        states = [CirclesState(0, 1, 2), CirclesState(1, 0, 1)]
+        assert not OutputConsensus().is_converged(protocol, states)
+
+    def test_empty_population_is_not_converged(self):
+        assert not OutputConsensus().is_converged(CirclesProtocol(2), [])
+
+    def test_configuration_variant(self):
+        protocol = CirclesProtocol(3)
+        config = Multiset([CirclesState(0, 1, 2), CirclesState(1, 0, 2), CirclesState(1, 0, 2)])
+        assert OutputConsensus().is_converged_configuration(protocol, config)
+        assert OutputConsensus(target=2).is_converged_configuration(protocol, config)
+        assert not OutputConsensus(target=1).is_converged_configuration(protocol, config)
+
+
+class TestSilentConfiguration:
+    def test_silent_exact_majority_configuration(self):
+        protocol = ExactMajorityProtocol()
+        silent = [MajorityState(0, True), MajorityState(0, False)]
+        assert SilentConfiguration().is_converged(protocol, silent)
+
+    def test_noisy_configuration(self):
+        protocol = ExactMajorityProtocol()
+        noisy = [MajorityState(0, True), MajorityState(1, True)]
+        assert not SilentConfiguration().is_converged(protocol, noisy)
+
+    def test_single_copy_of_a_state_does_not_self_interact(self):
+        protocol = ExactMajorityProtocol()
+        # One strong-0 and one weak-0: strong converts weak but weak is already 0 ... the
+        # pair (strong0, weak0) is a no-op, so this two-agent configuration is silent.
+        states = [MajorityState(0, True), MajorityState(0, False)]
+        assert SilentConfiguration().is_converged(protocol, states)
+
+    def test_circles_stable_is_not_necessarily_silent(self):
+        """Circles keeps broadcasting outputs, so stability can precede silence."""
+        protocol = CirclesProtocol(2)
+        # Stable bra-kets, but one agent has a stale output: a diagonal interaction
+        # would still change it, so the configuration is stable yet not silent.
+        states = [CirclesState(0, 0, 0), CirclesState(0, 1, 0), CirclesState(1, 0, 1)]
+        assert StableCircles().is_converged(protocol, states) is False  # outputs differ
+        assert not SilentConfiguration().is_converged(protocol, states)
+
+
+class TestStableCircles:
+    def test_requires_circles_protocol(self):
+        with pytest.raises(TypeError):
+            StableCircles().is_converged(ExactMajorityProtocol(), [])
+
+    def test_converged_configuration(self):
+        protocol = CirclesProtocol(2)
+        states = [CirclesState(0, 0, 0), CirclesState(0, 1, 0), CirclesState(1, 0, 0)]
+        assert StableCircles().is_converged(protocol, states)
+
+    def test_not_converged_when_outputs_lag(self):
+        protocol = CirclesProtocol(2)
+        states = [CirclesState(0, 0, 0), CirclesState(0, 1, 0), CirclesState(1, 0, 1)]
+        assert not StableCircles().is_converged(protocol, states)
+
+    def test_not_converged_when_exchange_possible(self):
+        protocol = CirclesProtocol(2)
+        states = [CirclesState(0, 0, 0), CirclesState(1, 1, 1)]
+        assert not StableCircles().is_converged(protocol, states)
+
+    def test_agreement_must_match_a_diagonal(self):
+        protocol = CirclesProtocol(3)
+        # All agree on color 2 but the only diagonal is ⟨0|0⟩: not the paper's stable shape.
+        states = [CirclesState(0, 0, 2), CirclesState(1, 2, 2), CirclesState(2, 1, 2)]
+        assert not StableCircles().is_converged(protocol, states)
+
+    def test_configuration_variant_matches_list_variant(self):
+        protocol = CirclesProtocol(2)
+        states = [CirclesState(0, 0, 0), CirclesState(0, 1, 0), CirclesState(1, 0, 0)]
+        assert StableCircles().is_converged_configuration(protocol, Multiset(states))
+        with pytest.raises(TypeError):
+            StableCircles().is_converged_configuration(ExactMajorityProtocol(), Multiset())

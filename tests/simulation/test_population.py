@@ -1,0 +1,57 @@
+"""Tests for populations and configurations."""
+
+import pytest
+
+from repro.core.circles import CirclesProtocol
+from repro.core.state import CirclesState
+from repro.simulation.population import Population, initial_states
+
+
+class TestInitialStates:
+    def test_maps_through_input_function(self):
+        protocol = CirclesProtocol(3)
+        states = initial_states(protocol, [0, 2, 2])
+        assert states == [CirclesState(0, 0, 0), CirclesState(2, 2, 2), CirclesState(2, 2, 2)]
+
+    def test_requires_two_agents(self):
+        protocol = CirclesProtocol(3)
+        with pytest.raises(ValueError):
+            initial_states(protocol, [0])
+
+
+class TestPopulation:
+    def test_from_colors(self):
+        protocol = CirclesProtocol(3)
+        population = Population.from_colors(protocol, [0, 1, 1])
+        assert len(population) == 3
+        assert population[1] == CirclesState(1, 1, 1)
+
+    def test_requires_two_agents(self):
+        with pytest.raises(ValueError):
+            Population([CirclesState(0, 0, 0)])
+
+    def test_setitem_and_states_copy(self):
+        protocol = CirclesProtocol(3)
+        population = Population.from_colors(protocol, [0, 1])
+        population[0] = CirclesState(0, 1, 0)
+        snapshot = population.states()
+        snapshot[0] = CirclesState(2, 2, 2)
+        assert population[0] == CirclesState(0, 1, 0)
+
+    def test_configuration_is_a_multiset(self):
+        protocol = CirclesProtocol(3)
+        population = Population.from_colors(protocol, [1, 1, 0])
+        configuration = population.configuration()
+        assert configuration.count(CirclesState(1, 1, 1)) == 2
+        assert len(configuration) == 3
+
+    def test_outputs_and_counts(self):
+        protocol = CirclesProtocol(3)
+        population = Population.from_colors(protocol, [0, 1, 1])
+        assert population.outputs(protocol) == [0, 1, 1]
+        assert population.output_counts(protocol) == {0: 1, 1: 2}
+
+    def test_iteration(self):
+        protocol = CirclesProtocol(2)
+        population = Population.from_colors(protocol, [0, 1])
+        assert list(population) == population.states()

@@ -1,0 +1,97 @@
+"""Tests for the high-level run API."""
+
+import pytest
+
+from repro.core.circles import CirclesProtocol
+from repro.core.greedy_sets import predicted_stable_brakets
+from repro.protocols.exact_majority import ExactMajorityProtocol
+from repro.scheduling.round_robin import RoundRobinScheduler
+from repro.simulation.convergence import OutputConsensus
+from repro.simulation.runner import RunResult, default_max_steps, run_circles, run_protocol
+from repro.utils.multiset import Multiset
+
+
+class TestDefaults:
+    def test_default_max_steps_grows_with_population(self):
+        assert default_max_steps(10, 3) < default_max_steps(40, 3)
+        assert default_max_steps(2, 2) >= 2_000
+
+
+class TestRunCircles:
+    def test_basic_run_reports_everything(self):
+        colors = [0, 0, 0, 1, 1, 2]
+        outcome = run_circles(colors, seed=5)
+        assert isinstance(outcome, RunResult)
+        assert outcome.protocol_name == "circles"
+        assert outcome.num_agents == 6
+        assert outcome.num_colors == 3
+        assert outcome.converged and outcome.correct
+        assert outcome.majority == 0
+        assert outcome.unanimous
+        assert outcome.ket_exchanges is not None and outcome.ket_exchanges > 0
+        assert outcome.initial_energy == 6 * 3
+        assert outcome.final_energy is not None
+        assert outcome.final_energy < outcome.initial_energy
+        assert Multiset(s.braket for s in outcome.final_states) == predicted_stable_brakets(colors)
+
+    def test_explicit_k_larger_than_colors(self):
+        outcome = run_circles([0, 0, 1], num_colors=5, seed=2)
+        assert outcome.num_colors == 5
+        assert outcome.correct
+
+    def test_explicit_scheduler(self):
+        scheduler = RoundRobinScheduler(4)
+        outcome = run_circles([0, 0, 0, 1], scheduler=scheduler, seed=0)
+        assert outcome.scheduler_name == "round-robin"
+        assert outcome.correct
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            run_circles([])
+
+    def test_tie_input_reports_not_correct(self):
+        outcome = run_circles([0, 0, 1, 1], seed=3)
+        assert outcome.majority is None
+        assert not outcome.correct
+        # The run still stabilizes (Theorem 3.4 does not need a unique majority).
+        assert outcome.converged is False or outcome.converged is True
+
+    def test_record_trace(self):
+        outcome = run_circles([0, 0, 1], seed=1, record_trace=True)
+        assert outcome.trace is not None
+        assert len(outcome.trace) == outcome.steps
+
+    def test_summary_keys(self):
+        outcome = run_circles([0, 0, 1], seed=1)
+        summary = outcome.summary()
+        assert summary["protocol"] == "circles"
+        assert summary["correct"] is True
+        assert summary["n"] == 3
+
+    def test_budget_too_small_reports_not_converged(self):
+        outcome = run_circles([0, 0, 0, 1, 1, 2, 2, 3], max_steps=1, seed=4)
+        assert not outcome.converged
+
+
+class TestRunProtocol:
+    def test_runs_exact_majority(self):
+        outcome = run_protocol(
+            ExactMajorityProtocol(), [0, 0, 0, 1, 1], criterion=OutputConsensus(), seed=9
+        )
+        assert outcome.protocol_name == "exact-majority"
+        assert outcome.correct
+        assert outcome.majority == 0
+
+    def test_default_criterion_is_output_consensus(self):
+        outcome = run_protocol(CirclesProtocol(2), [0, 0, 1], seed=11)
+        assert outcome.converged
+
+    def test_scheduler_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            run_protocol(
+                CirclesProtocol(2), [0, 1, 1], scheduler=RoundRobinScheduler(5), seed=0
+            )
+
+    def test_trace_recording(self):
+        outcome = run_protocol(CirclesProtocol(2), [0, 1], seed=1, record_trace=True, max_steps=10)
+        assert outcome.trace is not None

@@ -1,0 +1,40 @@
+"""Tests for trace recording."""
+
+from repro.simulation.trace import Trace, TraceEvent
+
+
+class TestTrace:
+    def _sample(self) -> Trace:
+        trace = Trace()
+        trace.record(TraceEvent(0, 0, 1, True, {"energy": 10}))
+        trace.record(TraceEvent(1, 1, 2, False, {"energy": 10}))
+        trace.record(TraceEvent(2, 0, 2, True, {"energy": 8}))
+        trace.record(TraceEvent(3, 2, 1, False, {}))
+        return trace
+
+    def test_length_and_indexing(self):
+        trace = self._sample()
+        assert len(trace) == 4
+        assert trace[2].step == 2
+        assert [event.step for event in trace] == [0, 1, 2, 3]
+        assert trace.events()[0].initiator == 0
+
+    def test_changed_steps(self):
+        trace = self._sample()
+        assert trace.changed_steps() == [0, 2]
+        assert trace.last_change_step() == 2
+
+    def test_last_change_none_for_quiet_trace(self):
+        trace = Trace()
+        trace.record(TraceEvent(0, 0, 1, False, {}))
+        assert trace.last_change_step() is None
+
+    def test_metric_series_skips_missing(self):
+        trace = self._sample()
+        assert trace.series("energy") == [(0, 10), (1, 10), (2, 8)]
+        assert trace.series("missing") == []
+
+    def test_filter(self):
+        trace = self._sample()
+        involving_agent_2 = trace.filter(lambda event: 2 in (event.initiator, event.responder))
+        assert [event.step for event in involving_agent_2] == [1, 2, 3]

@@ -1,0 +1,158 @@
+"""Unit and property tests for repro.utils.multiset."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.multiset import Multiset
+
+
+class TestConstruction:
+    def test_empty(self):
+        bag = Multiset()
+        assert len(bag) == 0
+        assert bag.is_empty()
+        assert bag.distinct() == 0
+
+    def test_from_iterable(self):
+        bag = Multiset([1, 2, 2, 3, 3, 3])
+        assert bag.count(1) == 1
+        assert bag.count(2) == 2
+        assert bag.count(3) == 3
+        assert len(bag) == 6
+
+    def test_from_mapping(self):
+        bag = Multiset({"a": 2, "b": 0, "c": 1})
+        assert bag.count("a") == 2
+        assert "b" not in bag
+        assert len(bag) == 3
+
+    def test_from_counts_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Multiset({"a": -1})
+
+    def test_copy_is_independent(self):
+        bag = Multiset([1, 1])
+        other = bag.copy()
+        other.add(2)
+        assert 2 not in bag
+        assert bag == Multiset([1, 1])
+
+
+class TestMutation:
+    def test_add_and_remove(self):
+        bag = Multiset()
+        bag.add("x", 3)
+        bag.remove("x", 2)
+        assert bag.count("x") == 1
+        bag.remove("x")
+        assert "x" not in bag
+
+    def test_remove_too_many_raises(self):
+        bag = Multiset(["x"])
+        with pytest.raises(KeyError):
+            bag.remove("x", 2)
+
+    def test_remove_negative_raises(self):
+        bag = Multiset(["x"])
+        with pytest.raises(ValueError):
+            bag.remove("x", -1)
+
+    def test_discard_clamps(self):
+        bag = Multiset(["x", "x"])
+        assert bag.discard("x", 5) == 2
+        assert bag.is_empty()
+        assert bag.discard("x") == 0
+
+    def test_replace(self):
+        bag = Multiset(["a", "a", "b"])
+        bag.replace("a", "c")
+        assert bag.counts() == {"a": 1, "b": 1, "c": 1}
+
+    def test_clear(self):
+        bag = Multiset([1, 2, 3])
+        bag.clear()
+        assert bag.is_empty()
+
+
+class TestAlgebra:
+    def test_union_adds_counts(self):
+        left = Multiset([1, 1, 2])
+        right = Multiset([1, 3])
+        combined = left.union(right)
+        assert combined.counts() == {1: 3, 2: 1, 3: 1}
+        # The paper writes union as ∪ and + interchangeably over multisets.
+        assert combined == left | right == left + right
+
+    def test_difference_clamps_at_zero(self):
+        left = Multiset([1, 1, 2])
+        right = Multiset([1, 1, 1, 3])
+        assert (left - right).counts() == {2: 1}
+
+    def test_intersection(self):
+        left = Multiset([1, 1, 2, 2, 2])
+        right = Multiset([1, 2, 2, 4])
+        assert (left & right).counts() == {1: 1, 2: 2}
+
+    def test_subset(self):
+        small = Multiset([1, 2])
+        big = Multiset([1, 1, 2, 3])
+        assert small.issubset(big)
+        assert small <= big
+        assert not big.issubset(small)
+
+    def test_equality_ignores_construction_order(self):
+        assert Multiset([1, 2, 2]) == Multiset([2, 1, 2])
+        assert Multiset([1]) != Multiset([1, 1])
+
+    def test_unhashable_but_frozen_is(self):
+        bag = Multiset([1, 1])
+        with pytest.raises(TypeError):
+            hash(bag)
+        assert bag.frozen() == frozenset({(1, 2)})
+
+
+class TestQueries:
+    def test_elements_iterates_with_multiplicity(self):
+        bag = Multiset(["a", "b", "b"])
+        assert sorted(bag.elements()) == ["a", "b", "b"]
+        assert sorted(bag) == ["a", "b", "b"]
+
+    def test_most_common(self):
+        bag = Multiset([1, 2, 2, 3, 3, 3])
+        assert bag.most_common(1) == [(3, 3)]
+        assert bag.most_common() == [(3, 3), (2, 2), (1, 1)]
+
+    def test_support(self):
+        bag = Multiset([5, 5, 7])
+        assert bag.support() == {5, 7}
+
+
+# -- property tests ---------------------------------------------------------
+
+items = st.lists(st.integers(min_value=-5, max_value=5), max_size=30)
+
+
+@given(items, items)
+def test_union_length_is_sum(first, second):
+    a, b = Multiset(first), Multiset(second)
+    assert len(a.union(b)) == len(a) + len(b)
+
+
+@given(items, items)
+def test_difference_then_intersection_partitions(first, second):
+    a, b = Multiset(first), Multiset(second)
+    assert (a - b) + (a & b) == a
+
+
+@given(items, items)
+def test_subset_iff_difference_empty(first, second):
+    a, b = Multiset(first), Multiset(second)
+    assert a.issubset(b) == (a - b).is_empty()
+
+
+@given(items)
+def test_roundtrip_through_counts(values):
+    bag = Multiset(values)
+    assert Multiset.from_counts(bag.counts()) == bag
+    assert sorted(bag.elements()) == sorted(values)

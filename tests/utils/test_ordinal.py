@@ -1,0 +1,119 @@
+"""Unit and property tests for the ordinal arithmetic behind g(C)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.ordinal import Ordinal
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert Ordinal.zero().is_zero()
+        assert not Ordinal.zero()
+        assert Ordinal.zero() == Ordinal()
+
+    def test_from_int(self):
+        five = Ordinal.from_int(5)
+        assert five.is_finite()
+        assert five.coefficient(0) == 5
+        assert Ordinal.from_int(0).is_zero()
+
+    def test_from_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Ordinal.from_int(-1)
+
+    def test_omega(self):
+        w = Ordinal.omega()
+        assert not w.is_finite()
+        assert w.degree() == 1
+        assert Ordinal.omega(3, 2).coefficient(3) == 2
+
+    def test_rejects_negative_terms(self):
+        with pytest.raises(ValueError):
+            Ordinal({-1: 2})
+        with pytest.raises(ValueError):
+            Ordinal({1: -2})
+
+    def test_from_coefficients_matches_paper_shape(self):
+        # weights w1..w4 sorted ascending -> w1*ω^3 + w2*ω^2 + w3*ω + w4
+        ordinal = Ordinal.from_coefficients([1, 2, 2, 5])
+        assert ordinal.coefficient(3) == 1
+        assert ordinal.coefficient(2) == 2
+        assert ordinal.coefficient(1) == 2
+        assert ordinal.coefficient(0) == 5
+
+
+class TestComparison:
+    def test_finite_ordering(self):
+        assert Ordinal.from_int(2) < Ordinal.from_int(3)
+        assert Ordinal.from_int(3) <= Ordinal.from_int(3)
+
+    def test_omega_dominates_any_finite(self):
+        assert Ordinal.from_int(10**9) < Ordinal.omega()
+
+    def test_higher_power_dominates(self):
+        assert Ordinal.omega(2) > Ordinal.omega(1, 10**6) + Ordinal.from_int(10**6)
+
+    def test_lexicographic_on_coefficients(self):
+        smaller = Ordinal.from_coefficients([1, 9, 9])
+        larger = Ordinal.from_coefficients([2, 0, 0])
+        assert smaller < larger
+
+    def test_equality_and_hash(self):
+        a = Ordinal({2: 1, 0: 3})
+        b = Ordinal.omega(2) + Ordinal.from_int(3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestArithmetic:
+    def test_natural_sum_is_coefficientwise(self):
+        a = Ordinal({2: 1, 0: 4})
+        b = Ordinal({2: 2, 1: 1})
+        assert (a + b).terms() == {2: 3, 1: 1, 0: 4}
+
+    def test_scale(self):
+        a = Ordinal({1: 2, 0: 3})
+        assert a.scale(3).terms() == {1: 6, 0: 9}
+        assert a.scale(0).is_zero()
+        with pytest.raises(ValueError):
+            a.scale(-1)
+
+    def test_repr_mentions_omega(self):
+        assert "ω" in repr(Ordinal.omega(2, 3))
+        assert repr(Ordinal.zero()) == "Ordinal(0)"
+
+
+# -- property tests -----------------------------------------------------------
+
+coefficient_lists = st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8)
+
+
+@given(coefficient_lists, coefficient_lists)
+def test_comparison_is_total_and_antisymmetric(first, second):
+    a = Ordinal.from_coefficients(first)
+    b = Ordinal.from_coefficients(second)
+    assert (a < b) + (b < a) + (a == b) == 1
+
+
+@given(coefficient_lists, coefficient_lists, coefficient_lists)
+def test_natural_sum_monotone(first, second, third):
+    a, b, c = (Ordinal.from_coefficients(values) for values in (first, second, third))
+    if a < b:
+        assert a + c <= b + c
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20), min_size=2, max_size=8))
+def test_decreasing_the_lowest_changed_coefficient_decreases_the_ordinal(coefficients):
+    """The core step of Theorem 3.4: lowering an earlier (higher-power) weight wins."""
+    a = Ordinal.from_coefficients(coefficients)
+    index = next((i for i, value in enumerate(coefficients) if value > 0), None)
+    if index is None:
+        return
+    lowered = list(coefficients)
+    lowered[index] -= 1
+    # Arbitrarily inflate every later coefficient: the ordinal must still shrink.
+    for later in range(index + 1, len(lowered)):
+        lowered[later] += 17
+    assert Ordinal.from_coefficients(lowered) < a

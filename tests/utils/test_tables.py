@@ -1,0 +1,49 @@
+"""Tests for the table-rendering helpers."""
+
+import pytest
+
+from repro.utils.tables import format_markdown_table, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [["circles", 27], ["baseline", 128]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "circles" in lines[2]
+        assert "128" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = format_markdown_table(["k", "states"], [[2, 8], [3, 27]])
+        lines = text.splitlines()
+        assert lines[0] == "| k | states |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 2 | 8 |"
+        assert lines[3] == "| 3 | 27 |"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])
+
+
+class TestSeries:
+    def test_series_pairs_up(self):
+        text = format_series("energy", [0, 1, 2], [30, 20, 10])
+        assert "energy" in text
+        assert "30" in text and "10" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("y", [1, 2], [1])

@@ -1,0 +1,46 @@
+"""Tests for named workload specs."""
+
+import pytest
+
+from repro.core.greedy_sets import has_unique_majority
+from repro.workloads.generators import WorkloadSpec, generate_workload, workload_catalog
+
+
+class TestCatalog:
+    def test_catalog_contents(self):
+        names = workload_catalog()
+        assert "planted-majority" in names
+        assert "uniform" in names
+        assert "zipf" in names
+        assert "near-tie" in names
+        assert "exact-tie" in names
+        assert "adversarial-two-block" in names
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            generate_workload("nope", 10, 3)
+
+
+class TestGeneration:
+    def test_generate_by_name(self):
+        colors = generate_workload("planted-majority", 12, 3, seed=1)
+        assert len(colors) == 12
+        assert has_unique_majority(colors)
+
+    def test_parameters_are_forwarded(self):
+        colors = generate_workload("planted-majority", 12, 3, seed=1, majority_color=2)
+        assert colors.count(2) == max(colors.count(c) for c in range(3))
+
+    def test_spec_roundtrip(self):
+        spec = WorkloadSpec("planted-majority", {"majority_color": 1})
+        colors = spec.generate(10, 3, seed=5)
+        assert colors.count(1) == max(colors.count(c) for c in range(3))
+
+    def test_spec_is_frozen(self):
+        spec = WorkloadSpec("uniform")
+        with pytest.raises(AttributeError):
+            spec.name = "zipf"  # type: ignore[misc]
+
+    def test_reproducibility_through_spec(self):
+        spec = WorkloadSpec("uniform")
+        assert spec.generate(20, 4, seed=3) == spec.generate(20, 4, seed=3)
