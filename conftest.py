@@ -4,11 +4,56 @@ Ensures ``src/`` is importable even when the package has not been pip-installed
 (useful on offline machines where editable installs are unavailable); an
 installed ``repro`` package, if present, still takes precedence only if it is
 the same source tree thanks to the editable install pointing here.
+
+Markers
+-------
+
+* ``bench`` — automatically applied to everything under ``benchmarks/``
+  (the pytest-benchmark experiment regenerations, which dominate the suite's
+  runtime).  Skip them for a fast signal with ``pytest -m "not bench"``; run
+  only them with ``pytest -m bench benchmarks/``.
+* ``perf`` — wall-clock performance comparisons with timing assertions.
+  These are skipped unless ``--perf`` is passed, so an otherwise-loaded
+  machine cannot flake the default suite: ``pytest --perf benchmarks/``.
 """
 
 import sys
 from pathlib import Path
 
-_SRC = Path(__file__).resolve().parent / "src"
+import pytest
+
+_ROOT = Path(__file__).resolve().parent
+_SRC = _ROOT / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--perf",
+        action="store_true",
+        default=False,
+        help="run wall-clock performance comparison tests (marker: perf)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench: pytest-benchmark experiment regeneration (deselect with -m 'not bench')",
+    )
+    config.addinivalue_line(
+        "markers",
+        "perf: wall-clock performance comparison; skipped unless --perf is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    benchmarks_dir = _ROOT / "benchmarks"
+    skip_perf = pytest.mark.skip(reason="performance comparison; run with --perf")
+    run_perf = config.getoption("--perf")
+    for item in items:
+        if Path(str(item.fspath)).is_relative_to(benchmarks_dir):
+            item.add_marker(pytest.mark.bench)
+        if not run_perf and "perf" in item.keywords:
+            item.add_marker(skip_perf)

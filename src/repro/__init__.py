@@ -13,7 +13,10 @@ The most common entry points are re-exported here:
 
 * :class:`CirclesProtocol` — the paper's protocol (``k^3`` states).
 * :func:`run_circles` / :func:`run_protocol` — simulate a protocol on an
-  input color assignment under a (weakly fair) scheduler.
+  input color assignment under a (weakly fair) scheduler.  Both accept
+  ``engine="agent" | "configuration" | "batch"`` (see
+  :func:`get_engine`); the batched engine is the fast path for large
+  populations.
 * :func:`predicted_majority`, :func:`predicted_stable_brakets` — the
   combinatorial predictions from the paper's proofs.
 * :mod:`repro.protocols` — baselines and the §4 extensions.
@@ -46,6 +49,7 @@ from repro.core.potential import configuration_energy, minimum_energy, ordinal_p
 from repro.core.state import CirclesState
 from repro.protocols.base import PopulationProtocol, TransitionResult
 from repro.protocols.registry import get_protocol, register_protocol
+from repro.simulation.registry import available_engines, get_engine
 from repro.simulation.runner import RunResult, run_circles, run_protocol
 
 __version__ = "1.0.0"
@@ -67,6 +71,8 @@ __all__ = [
     "TransitionResult",
     "get_protocol",
     "register_protocol",
+    "available_engines",
+    "get_engine",
     "RunResult",
     "run_circles",
     "run_protocol",

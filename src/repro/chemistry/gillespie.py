@@ -74,7 +74,10 @@ def simulate_crn(
     Returns:
         A :class:`GillespieResult`; ``exhausted`` is True when the run stopped
         because no reaction had positive propensity (a chemically "dead",
-        i.e. silent, mixture).
+        i.e. silent, mixture).  The reported ``time`` never exceeds
+        ``max_time``: when the sampled waiting time overshoots the cap, the
+        mixture is reported as observed at ``max_time`` (the overshooting
+        reaction has not fired yet).
     """
     if isinstance(initial_counts, Multiset):
         counts: dict[State, int] = initial_counts.counts()
@@ -107,6 +110,9 @@ def simulate_crn(
             return result
         time += rng.expovariate(total)
         if time > max_time:
+            # The next reaction would fire after the cap: the mixture is
+            # observed *at* the cap, so the reported time must not overshoot.
+            time = max_time
             break
         index = weighted_choice(rng, propensities)
         reaction = crn.reactions[index]

@@ -55,8 +55,18 @@ def run(
     trials: int = 4,
     seed: int = 59,
     adversarial: bool = True,
+    engine: str = "batch",
 ) -> ExperimentResult:
-    """Build the E6 convergence/correctness comparison table."""
+    """Build the E6 convergence/correctness comparison table.
+
+    Args:
+        engine: simulation engine (``"agent"``, ``"configuration"`` or
+            ``"batch"``).  All three simulate the uniform random scheduler —
+            exactly for the configuration-level engines, via explicit pair
+            draws for the agent engine — so the measured distributions agree;
+            the default is the batched fast path, which is what makes the
+            large-``n`` convergence sweeps tractable.
+    """
     result = ExperimentResult(
         experiment_id="E6",
         title="Interactions to convergence and correctness rate vs. baselines (uniform random scheduler)",
@@ -84,21 +94,30 @@ def run(
                     steps: list[int] = []
                     correct = 0
                     for _ in range(trials):
-                        scheduler = UniformRandomScheduler(n, seed=rng.getrandbits(32))
+                        trial_seed = rng.getrandbits(32)
+                        scheduler = (
+                            UniformRandomScheduler(n, seed=trial_seed)
+                            if engine == "agent"
+                            else None
+                        )
                         if isinstance(protocol, CirclesProtocol):
                             outcome = run_circles(
                                 colors,
                                 num_colors=k,
                                 scheduler=scheduler,
+                                seed=trial_seed,
                                 max_steps=200 * n * n,
+                                engine=engine,
                             )
                         else:
                             outcome = run_protocol(
                                 protocol,
                                 colors,
                                 scheduler=scheduler,
+                                seed=trial_seed,
                                 criterion=OutputConsensus(),
                                 max_steps=200 * n * n,
+                                engine=engine,
                             )
                         steps.append(outcome.steps)
                         correct += outcome.correct
@@ -124,6 +143,6 @@ def run(
     result.add_note(
         "Interaction counts are reported under the uniform random scheduler with the "
         "protocol-specific convergence criterion (StableCircles for Circles, output consensus "
-        "for the baselines)."
+        f"for the baselines), simulated by the {engine!r} engine."
     )
     return result

@@ -43,8 +43,18 @@ def _decisive_isolation_input(num_agents: int) -> tuple[list[int], list[int]]:
     return colors, isolated
 
 
-def run(num_agents: int = 15, trials: int = 4, seed: int = 97) -> ExperimentResult:
-    """Build the E8 scheduler-sensitivity table."""
+def run(
+    num_agents: int = 15, trials: int = 4, seed: int = 97, engine: str = "agent"
+) -> ExperimentResult:
+    """Build the E8 scheduler-sensitivity table.
+
+    ``engine`` applies only to the ``uniform-random`` row: the
+    configuration-level engines simulate exactly that scheduler, so
+    ``engine="batch"`` runs the fair baseline on the fast path when sweeping
+    large populations.  The remaining rows need per-agent scheduling (the
+    whole point of the experiment is scheduler control), so they always use
+    the agent engine.
+    """
     result = ExperimentResult(
         experiment_id="E8",
         title="Scheduler sensitivity: weakly fair vs. unfair schedules (Definition 1.2)",
@@ -73,10 +83,22 @@ def run(num_agents: int = 15, trials: int = 4, seed: int = 97) -> ExperimentResu
     for name in ("uniform-random", "round-robin", "greedy-stall", "isolation"):
         correct = 0
         for _ in range(trials):
-            scheduler = build(name)
-            outcome = run_circles(
-                colors, num_colors=k, scheduler=scheduler, max_steps=150 * num_agents * num_agents
-            )
+            if name == "uniform-random" and engine != "agent":
+                outcome = run_circles(
+                    colors,
+                    num_colors=k,
+                    seed=rng.getrandbits(32),
+                    max_steps=150 * num_agents * num_agents,
+                    engine=engine,
+                )
+            else:
+                scheduler = build(name)
+                outcome = run_circles(
+                    colors,
+                    num_colors=k,
+                    scheduler=scheduler,
+                    max_steps=150 * num_agents * num_agents,
+                )
             correct += outcome.correct
         result.add_row(name, build(name).is_weakly_fair, trials, f"{correct}/{trials}")
     result.add_note(

@@ -1,15 +1,30 @@
 """Simulation engines for population protocols.
 
-Two engines implement the same dynamics at different granularities:
+Three engines implement the same dynamics at different granularities, all
+behind the shared :class:`repro.simulation.base.SimulationEngine` interface:
 
-* :class:`repro.simulation.engine.AgentSimulation` — tracks every agent
-  individually and works with *any* scheduler, including adversarial and
-  adaptive ones.  This is the engine used for correctness experiments.
-* :class:`repro.simulation.config_engine.ConfigurationSimulation` — tracks
-  only the configuration (the multiset of states) and samples interactions as
-  the uniform random scheduler would.  Because agents are anonymous
-  (Definition 1.1), this is exact for the random scheduler and scales to large
-  populations; it backs the convergence-time benchmarks.
+* :class:`repro.simulation.engine.AgentSimulation` (``engine="agent"``) —
+  tracks every agent individually and works with *any* scheduler, including
+  adversarial and adaptive ones.  This is the engine used for correctness
+  experiments and the only one that records interaction traces.
+* :class:`repro.simulation.config_engine.ConfigurationSimulation`
+  (``engine="configuration"``) — tracks only the configuration (the multiset
+  of states) and samples interactions as the uniform random scheduler would.
+  Because agents are anonymous (Definition 1.1), this is exact for the random
+  scheduler and scales to large populations.
+* :class:`repro.simulation.batch_engine.BatchConfigurationSimulation`
+  (``engine="batch"``) — the same Markov chain as the configuration engine,
+  sampled in exact bursts of ``Θ(√n)`` interactions with bulk per-pair-type
+  transition application and a collision-aware correction.  This is the fast
+  path behind the convergence-time benchmarks (experiment E6) at
+  ``n = 10^5``–``10^6``.
+
+Engines are selected by name through :func:`repro.simulation.get_engine` or,
+more commonly, through the ``engine=`` parameter of the high-level API::
+
+    from repro.simulation import run_circles
+
+    result = run_circles([0, 0, 0, 1, 1, 2], seed=1, engine="batch")
 
 On top of the engines, :mod:`repro.simulation.runner` provides the high-level
 ``run_protocol`` / ``run_circles`` API the examples and the experiment harness
@@ -18,8 +33,11 @@ criteria.
 """
 
 from repro.simulation.population import Population, initial_states
+from repro.simulation.base import ConfigurationEngine, SimulationEngine, default_check_interval
 from repro.simulation.engine import AgentSimulation, StepRecord
 from repro.simulation.config_engine import ConfigurationSimulation
+from repro.simulation.batch_engine import BatchConfigurationSimulation
+from repro.simulation.registry import ENGINES, available_engines, get_engine
 from repro.simulation.convergence import (
     ConvergenceCriterion,
     OutputConsensus,
@@ -27,13 +45,25 @@ from repro.simulation.convergence import (
     StableCircles,
 )
 from repro.simulation.trace import Trace, TraceEvent
-from repro.simulation.runner import RunResult, run_circles, run_protocol
+from repro.simulation.runner import (
+    RunResult,
+    ket_exchange_occurred,
+    run_circles,
+    run_protocol,
+)
 
 __all__ = [
     "Population",
     "initial_states",
+    "SimulationEngine",
+    "ConfigurationEngine",
+    "default_check_interval",
     "AgentSimulation",
     "ConfigurationSimulation",
+    "BatchConfigurationSimulation",
+    "ENGINES",
+    "available_engines",
+    "get_engine",
     "StepRecord",
     "ConvergenceCriterion",
     "OutputConsensus",
@@ -42,6 +72,7 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "RunResult",
+    "ket_exchange_occurred",
     "run_protocol",
     "run_circles",
 ]

@@ -1,0 +1,261 @@
+"""The shared engine interface.
+
+Three engines simulate the same population-protocol dynamics at different
+granularities (per agent, per configuration, per batched burst); this module
+holds what they share:
+
+* :class:`SimulationEngine` — the abstract base class every engine
+  implements.  It fixes the public contract (``run``, ``states``,
+  ``outputs``, ``output_counts``, the ``steps_taken`` /
+  ``interactions_changed`` counters) and provides the budget/convergence
+  loop as a template method, so the stopping semantics are identical across
+  engines: the criterion is evaluated before the first interaction and then
+  every ``check_interval`` interactions.
+* :class:`ConfigurationEngine` — the common machinery of the engines that
+  track only the configuration (construction and validation, the observer
+  hook, configuration bookkeeping per applied transition, count-weighted
+  output tallies).
+* :func:`default_check_interval` — the single default policy for how often
+  convergence is checked.
+
+Engine *selection* (the ``"agent"`` / ``"configuration"`` / ``"batch"``
+registry) lives in :mod:`repro.simulation.registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Hashable, Iterable
+from typing import ClassVar, Generic, TypeVar
+
+from repro.protocols.base import PopulationProtocol, TransitionResult
+from repro.simulation.convergence import ConvergenceCriterion
+from repro.utils.multiset import Multiset
+from repro.utils.rng import RngLike, make_rng
+
+State = TypeVar("State", bound=Hashable)
+
+#: Observer hook ``(initiator_before, responder_before, result, count)``,
+#: invoked for every applied transition that changed at least one state;
+#: ``count`` is how many interactions of that pair type the call covers.
+TransitionObserver = Callable[..., None]
+
+
+def default_check_interval(num_agents: int) -> int:
+    """How often (in interactions) engines check convergence by default.
+
+    The policy is one unit of *parallel time*: ``n`` interactions.  A
+    convergence check costs at most ``O(d²)`` transition evaluations (``d`` =
+    number of distinct states present, typically far below ``n``), so checking
+    every ``n`` interactions keeps the amortized check cost per interaction
+    vanishing as the population grows, while stabilization is still detected
+    within one parallel-time unit of when it happens.
+
+    Historically the agent engine checked once per scheduler cycle
+    (``n·(n-1)`` interactions) and the configuration engine every ``n``; the
+    cycle-based default made detection latency quadratic in ``n`` for no
+    gain in soundness, so all engines now share this single helper.
+    """
+    return max(1, num_agents)
+
+
+class SimulationEngine(abc.ABC, Generic[State]):
+    """Abstract base class of all simulation engines.
+
+    Concrete engines provide the stepping strategy via :meth:`_advance` (one
+    interaction for the exact sequential engines, a whole burst for the
+    batched engine) and the criterion hook :meth:`_converged`; the budgeted
+    :meth:`run` loop is shared so every engine stops under exactly the same
+    rules.
+    """
+
+    #: Registry name of the engine (see :mod:`repro.simulation.registry`).
+    engine_name: ClassVar[str] = "engine"
+
+    protocol: PopulationProtocol[State]
+    #: Total interactions simulated so far.
+    steps_taken: int
+    #: Interactions that changed at least one agent's state.
+    interactions_changed: int
+
+    # -- abstract surface -------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def num_agents(self) -> int:
+        """The (constant) population size."""
+
+    @abc.abstractmethod
+    def states(self) -> list[State]:
+        """A copy of the current agent states.
+
+        Engines that only track the configuration return the multiset
+        expanded in an arbitrary (but deterministic) order — agents are
+        anonymous, so no meaning attaches to positions.
+        """
+
+    @abc.abstractmethod
+    def _advance(self, max_interactions: int) -> int:
+        """Execute at least one and at most ``max_interactions`` interactions.
+
+        Returns the number of interactions executed.  Called with
+        ``max_interactions >= 1``.
+        """
+
+    @abc.abstractmethod
+    def _converged(self, criterion: ConvergenceCriterion[State]) -> bool:
+        """Evaluate the criterion against the current population."""
+
+    # -- shared run loop ---------------------------------------------------------
+
+    def run(
+        self,
+        max_steps: int,
+        criterion: ConvergenceCriterion[State] | None = None,
+        check_interval: int | None = None,
+    ) -> bool:
+        """Run until the criterion holds or ``max_steps`` interactions elapsed.
+
+        Args:
+            max_steps: the interaction budget.
+            criterion: optional stopping criterion; when omitted the engine
+                simply runs the full budget.
+            check_interval: how often (in interactions) the criterion is
+                evaluated; defaults to :func:`default_check_interval`.
+
+        Returns:
+            True when the criterion was satisfied (always False when no
+            criterion is given).
+        """
+        if max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        if check_interval is not None and check_interval < 0:
+            raise ValueError("check_interval must be non-negative")
+        if criterion is None:
+            executed = 0
+            while executed < max_steps:
+                executed += self._advance(max_steps - executed)
+            return False
+        interval = check_interval or default_check_interval(self.num_agents)
+        if self._converged(criterion):
+            return True
+        executed = 0
+        while executed < max_steps:
+            window = min(interval, max_steps - executed)
+            done = 0
+            while done < window:
+                done += self._advance(window - done)
+            executed += window
+            if self._converged(criterion):
+                return True
+        return False
+
+    # -- shared inspection -------------------------------------------------------
+
+    def outputs(self) -> list[int]:
+        """Every agent's current output color (order as in :meth:`states`)."""
+        output = self.protocol.output
+        return [output(state) for state in self.states()]
+
+    def output_counts(self) -> dict[int, int]:
+        """How many agents currently output each color."""
+        counts: dict[int, int] = {}
+        for color in self.outputs():
+            counts[color] = counts.get(color, 0) + 1
+        return counts
+
+
+class ConfigurationEngine(SimulationEngine[State]):
+    """Shared machinery of the engines that track only the configuration.
+
+    Agents are anonymous (Definition 1.1), so under the uniform random
+    scheduler only the multiset of states matters.  Subclasses supply the
+    sampling strategy (:meth:`_advance`); construction, validation, the
+    transition-observer contract and the configuration bookkeeping live
+    here so the sequential and the batched engine cannot drift apart.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol[State],
+        initial: Iterable[State] | Multiset[State],
+        seed: RngLike = None,
+        transition_observer: TransitionObserver | None = None,
+    ) -> None:
+        self.protocol = protocol
+        configuration = initial if isinstance(initial, Multiset) else Multiset(initial)
+        if len(configuration) < 2:
+            raise ValueError("a population needs at least two agents")
+        self._configuration = configuration.copy()
+        self._num_agents = len(configuration)
+        self._rng = make_rng(seed)
+        self.transition_observer = transition_observer
+        self.steps_taken = 0
+        self.interactions_changed = 0
+
+    @classmethod
+    def from_colors(
+        cls,
+        protocol: PopulationProtocol[State],
+        colors: Iterable[int],
+        seed: RngLike = None,
+        transition_observer: TransitionObserver | None = None,
+    ):
+        """Create the initial configuration from input colors."""
+        return cls(
+            protocol,
+            (protocol.initial_state(color) for color in colors),
+            seed,
+            transition_observer=transition_observer,
+        )
+
+    def _apply_changed_transition(
+        self,
+        initiator: State,
+        responder: State,
+        result: TransitionResult[State],
+        count: int,
+    ) -> None:
+        """Book a changed transition: counters, configuration, observer."""
+        self.interactions_changed += count
+        configuration = self._configuration
+        configuration.remove(initiator, count)
+        configuration.remove(responder, count)
+        configuration.add(result.initiator, count)
+        configuration.add(result.responder, count)
+        if self.transition_observer is not None:
+            self.transition_observer(initiator, responder, result, count)
+
+    def _converged(self, criterion: ConvergenceCriterion[State]) -> bool:
+        return criterion.is_converged_configuration(self.protocol, self._configuration)
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def num_agents(self) -> int:
+        """The (constant) population size."""
+        return self._num_agents
+
+    def states(self) -> list[State]:
+        """The current agent states (anonymous, so order carries no meaning)."""
+        return list(self._configuration.elements())
+
+    def configuration(self) -> Multiset[State]:
+        """A copy of the current configuration."""
+        return self._configuration.copy()
+
+    def output_counts(self) -> dict[int, int]:
+        """How many agents currently output each color."""
+        counts: dict[int, int] = {}
+        output = self.protocol.output
+        for state, count in self._configuration.items():
+            color = output(state)
+            counts[color] = counts.get(color, 0) + count
+        return counts
+
+    def unanimous_output(self) -> int | None:
+        """The common output color if all agents agree, else ``None``."""
+        counts = self.output_counts()
+        if len(counts) == 1:
+            return next(iter(counts))
+        return None

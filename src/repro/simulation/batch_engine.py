@@ -1,0 +1,288 @@
+"""The batched configuration-level simulation engine.
+
+:class:`~repro.simulation.config_engine.ConfigurationSimulation` already
+exploits anonymity to simulate the uniform random scheduler on state *counts*,
+but it still pays two ``O(d)`` linear scans plus one transition evaluation per
+interaction.  This engine amortizes all of that over *bursts* of interactions,
+in the spirit of Gillespie-style aggregation (see
+:mod:`repro.chemistry.gillespie`) and of the batched population-protocol
+simulators of Berenbrink et al.:
+
+1. **Burst length.**  Interactions drawn by the uniform random scheduler
+   involve independent agent pairs, so as long as no agent appears twice the
+   interactions commute and can be applied in any order.  The number of
+   interactions until an agent is re-drawn depends only on agent *identities*
+   (never on states), so the engine samples it directly from the
+   birthday-process distribution: at each candidate interaction the ordered
+   pair of slots is "both fresh" with probability
+   ``(n-m)(n-m-1) / (n(n-1))`` where ``m`` agents are already touched.
+   By the birthday paradox a burst contains ``Θ(√n)`` interactions.
+2. **Bulk application.**  The states of the fresh agents are a uniform draw
+   *without replacement* from the configuration; the engine keeps the agent
+   pool as a flat list and pops random entries in ``O(1)``.  Drawn pairs are
+   aggregated into ordered pair-type counts and each distinct pair type is
+   applied once through a memoized transition table — the per-interaction
+   cost is a few dictionary operations regardless of ``d``.
+3. **Collision correction.**  The burst ends with the first interaction that
+   re-uses an agent.  That interaction is applied *exactly*: the colliding
+   slot is resolved to a uniformly random already-touched agent (whose state
+   reflects the burst's updates), the other slot to a fresh pool draw,
+   matching the conditional distribution of the sequential process.
+
+The induced Markov chain over configurations is therefore *identical* to
+:class:`ConfigurationSimulation`'s (and to the agent engine's under the
+uniform random scheduler); ``tests/simulation/test_batch_engine.py`` checks
+the agreement distributionally and ``tests/integration/test_engine_agreement``
+checks that all engines settle in the configuration predicted by Lemma 3.6.
+Convergence checks are amortized per burst through the shared
+:meth:`~repro.simulation.base.SimulationEngine.run` loop, which makes
+E6-scale convergence sweeps tractable at ``n = 10^5``–``10^6``.
+
+Like every stochastic component of the library, Bernoulli and index draws are
+resolved through ``random.Random.random()`` (53-bit resolution, the same
+convention as :func:`repro.utils.rng.weighted_choice`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import Counter
+from collections.abc import Hashable, Iterable
+from typing import Generic, TypeVar
+
+from repro.protocols.base import PopulationProtocol, TransitionResult
+from repro.simulation.base import ConfigurationEngine, TransitionObserver
+from repro.utils.multiset import Multiset
+from repro.utils.rng import RngLike
+
+State = TypeVar("State", bound=Hashable)
+
+#: Below this population size a burst is shorter than its bookkeeping, so the
+#: engine samples interactions one at a time (still exactly, still through the
+#: pool and the memoized transition table).
+SEQUENTIAL_FALLBACK_THRESHOLD = 16
+
+
+class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
+    """Simulate the uniform random scheduler in exact batched bursts."""
+
+    engine_name = "batch"
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol[State],
+        initial: Iterable[State] | Multiset[State],
+        seed: RngLike = None,
+        transition_observer: TransitionObserver | None = None,
+    ) -> None:
+        super().__init__(protocol, initial, seed, transition_observer=transition_observer)
+        #: Flat pool of agent states; random pops are O(1) via swap-remove.
+        self._pool: list[State] = list(self._configuration.elements())
+        self._transition_cache: dict[tuple[State, State], TransitionResult[State]] = {}
+        self._neg_survival: list[float] | None = None
+
+    # -- memoized transition table ---------------------------------------------
+
+    def _transition(self, initiator: State, responder: State) -> TransitionResult[State]:
+        key = (initiator, responder)
+        result = self._transition_cache.get(key)
+        if result is None:
+            result = self.protocol.transition(initiator, responder)
+            self._transition_cache[key] = result
+        return result
+
+    # -- sampling primitives ------------------------------------------------------
+
+    def _random_index(self, size: int) -> int:
+        index = int(self._rng.random() * size)
+        return size - 1 if index >= size else index
+
+    def _pop_random(self) -> State:
+        """Remove and return a uniformly random pool entry in O(1)."""
+        pool = self._pool
+        index = self._random_index(len(pool))
+        last = pool.pop()
+        if index < len(pool):
+            state = pool[index]
+            pool[index] = last
+            return state
+        return last
+
+    def _sample_burst_length(self, cap: int) -> tuple[int, tuple[bool, bool] | None]:
+        """Sample how many interactions precede the burst's first collision.
+
+        Returns ``(length, collision)``: ``length`` non-colliding interactions
+        (capped at ``cap``, in which case ``collision`` is None) followed by
+        one interaction whose ``(initiator_is_touched, responder_is_touched)``
+        pattern is ``collision``.  The pattern depends only on agent
+        identities, so it is sampled before any state is drawn: with ``m``
+        agents touched, an interaction's ordered slot pair is fresh/fresh,
+        fresh/touched, touched/fresh or touched/touched with probabilities
+        proportional to ``(n-m)(n-m-1)``, ``(n-m)·m``, ``m·(n-m)`` and
+        ``m·(m-1)``.  The length is drawn by inverse transform on the
+        birthday-process survival function (one uniform draw per burst); the
+        collision pattern by one more draw over the three colliding masses.
+        """
+        n = self._num_agents
+        total_pairs = float(n * (n - 1))
+        rng_random = self._rng.random
+        if self._neg_survival is None:
+            # Precompute the survival function S_t = P(first t interactions
+            # touch 2t distinct agents); it depends only on n.  Stored negated
+            # so bisect can search the (ascending) sequence.  S_t underflows
+            # to exactly 0.0 after O(√(n·log n)) entries, which bounds both
+            # the table size and every later lookup.
+            negated: list[float] = [-1.0]
+            survival = 1.0
+            step = 0
+            while survival > 0.0:
+                fresh = n - 2 * step
+                survival *= max(fresh * (fresh - 1), 0) / total_pairs
+                negated.append(-survival)
+                step += 1
+            self._neg_survival = negated
+        u = rng_random()
+        # The burst length is the largest t with S_t > u (inverse transform).
+        length = bisect_left(self._neg_survival, -u) - 1
+        if length >= cap:
+            return cap, None
+        m = 2 * length
+        fresh = n - m
+        collision_mass = total_pairs - fresh * (fresh - 1)
+        target = rng_random() * collision_mass
+        if target < fresh * m:
+            return length, (False, True)
+        target -= fresh * m
+        if target < m * fresh:
+            return length, (True, False)
+        return length, (True, True)
+
+    # -- stepping ------------------------------------------------------------------
+
+    def run_burst(self, max_interactions: int | None = None) -> int:
+        """Execute one burst and return how many interactions it contained.
+
+        A burst is a maximal run of interactions over pairwise-distinct
+        agents, applied in bulk per ordered pair type, plus (when the cap
+        allows) the collision interaction that ends it.
+        """
+        cap = self._num_agents if max_interactions is None else max_interactions
+        if cap <= 0:
+            return 0
+        length, collision = self._sample_burst_length(cap)
+
+        # Draw the fresh agents' states without replacement.  The pool pops
+        # are inlined (swap-remove) — this loop dominates the engine's
+        # per-interaction cost — and the drawn ordered pairs are aggregated
+        # into per-pair-type counts by Counter's C-level counting loop.
+        pool = self._pool
+        rng_random = self._rng.random
+        pairs: list[tuple[State, State]] = []
+        append_pair = pairs.append
+        size = len(pool)
+        for _ in range(length):
+            index = int(rng_random() * size)
+            size -= 1
+            last = pool.pop()
+            if index < size:
+                initiator = pool[index]
+                pool[index] = last
+            else:
+                initiator = last
+            index = int(rng_random() * size)
+            size -= 1
+            last = pool.pop()
+            if index < size:
+                responder = pool[index]
+                pool[index] = last
+            else:
+                responder = last
+            append_pair((initiator, responder))
+        pair_counts = Counter(pairs)
+
+        #: Current states of the agents touched by this burst (one entry per
+        #: distinct agent, updated as transitions apply).
+        touched: list[State] = []
+        for (initiator, responder), count in pair_counts.items():
+            result = self._transition(initiator, responder)
+            if result.changed:
+                self._apply_changed_transition(initiator, responder, result, count)
+            touched.extend([result.initiator] * count)
+            touched.extend([result.responder] * count)
+
+        executed = length
+        if collision is not None:
+            executed += self._collision_step(touched, collision)
+        self._pool.extend(touched)
+        self.steps_taken += executed
+        return executed
+
+    def _collision_step(self, touched: list[State], collision: tuple[bool, bool]) -> int:
+        """Apply the interaction that ends the burst by re-using an agent.
+
+        A touched slot resolves to a uniformly random already-touched agent
+        (its state reflecting the burst's bulk updates); a fresh slot to a
+        pool draw — exactly the conditional distribution of the sequential
+        process given the sampled collision pattern.
+        """
+        initiator_touched, responder_touched = collision
+        initiator_index: int | None = None
+        responder_index: int | None = None
+        if initiator_touched:
+            initiator_index = self._random_index(len(touched))
+            initiator = touched[initiator_index]
+        else:
+            initiator = self._pop_random()
+        if responder_touched:
+            if initiator_touched:
+                # The responder is any *other* touched agent.
+                responder_index = self._random_index(len(touched) - 1)
+                if responder_index >= initiator_index:
+                    responder_index += 1
+            else:
+                responder_index = self._random_index(len(touched))
+            responder = touched[responder_index]
+        else:
+            responder = self._pop_random()
+
+        result = self._transition(initiator, responder)
+        if result.changed:
+            self._apply_changed_transition(initiator, responder, result, 1)
+        if initiator_index is not None:
+            touched[initiator_index] = result.initiator
+        else:
+            touched.append(result.initiator)
+        if responder_index is not None:
+            touched[responder_index] = result.responder
+        else:
+            touched.append(result.responder)
+        return 1
+
+    def _sequential_step(self) -> None:
+        """One exact interaction straight from the pool (small-``n`` fallback)."""
+        pool = self._pool
+        n = self._num_agents
+        first = self._random_index(n)
+        second = self._random_index(n - 1)
+        if second >= first:
+            second += 1
+        initiator, responder = pool[first], pool[second]
+        result = self._transition(initiator, responder)
+        if result.changed:
+            pool[first] = result.initiator
+            pool[second] = result.responder
+            self._apply_changed_transition(initiator, responder, result, 1)
+        self.steps_taken += 1
+
+    def _advance(self, max_interactions: int) -> int:
+        if self._num_agents < SEQUENTIAL_FALLBACK_THRESHOLD:
+            for _ in range(max_interactions):
+                self._sequential_step()
+            return max_interactions
+        return self.run_burst(max_interactions)
+
+    # -- inspection -------------------------------------------------------------------
+
+    def states(self) -> list[State]:
+        """The current agent states (anonymous, so order carries no meaning)."""
+        return list(self._pool)

@@ -6,8 +6,9 @@ multiset of states.  :class:`ConfigurationSimulation` exploits this: it keeps
 state counts instead of an agent array and samples the interacting pair of
 states from the counts.  The per-step cost is ``O(d)`` in the number of
 distinct states (at most ``k^3`` for Circles and usually far fewer), which
-makes populations of 10^5–10^6 agents cheap to simulate — this engine backs
-the convergence-time benchmarks (experiment E6).
+makes populations of 10^5–10^6 agents cheap to simulate; for still larger
+budgets see the batched engine in :mod:`repro.simulation.batch_engine`,
+which samples the same chain in bursts.
 
 The engine is *exact*: its induced Markov chain over configurations is the
 same as the agent-level engine's under :class:`UniformRandomScheduler`; a
@@ -16,45 +17,18 @@ dedicated integration test checks the agreement distributionally.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable
 from typing import Generic, TypeVar
 
-from repro.protocols.base import PopulationProtocol
-from repro.simulation.convergence import ConvergenceCriterion
-from repro.utils.multiset import Multiset
-from repro.utils.rng import RngLike, make_rng
+from repro.simulation.base import ConfigurationEngine
 
 State = TypeVar("State", bound=Hashable)
 
 
-class ConfigurationSimulation(Generic[State]):
+class ConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
     """Simulate a protocol on the multiset of states under the random scheduler."""
 
-    def __init__(
-        self,
-        protocol: PopulationProtocol[State],
-        initial: Iterable[State] | Multiset[State],
-        seed: RngLike = None,
-    ) -> None:
-        self.protocol = protocol
-        configuration = initial if isinstance(initial, Multiset) else Multiset(initial)
-        if len(configuration) < 2:
-            raise ValueError("a population needs at least two agents")
-        self._configuration = configuration.copy()
-        self._num_agents = len(configuration)
-        self._rng = make_rng(seed)
-        self.steps_taken = 0
-        self.interactions_changed = 0
-
-    @classmethod
-    def from_colors(
-        cls,
-        protocol: PopulationProtocol[State],
-        colors: Iterable[int],
-        seed: RngLike = None,
-    ) -> "ConfigurationSimulation[State]":
-        """Create the initial configuration from input colors."""
-        return cls(protocol, (protocol.initial_state(color) for color in colors), seed)
+    engine_name = "configuration"
 
     # -- sampling ------------------------------------------------------------------
 
@@ -83,62 +57,11 @@ class ConfigurationSimulation(Generic[State]):
         responder = self._sample_state(exclude=initiator)
         result = self.protocol.transition(initiator, responder)
         if result.changed:
-            self._configuration.remove(initiator)
-            self._configuration.remove(responder)
-            self._configuration.add(result.initiator)
-            self._configuration.add(result.responder)
-            self.interactions_changed += 1
+            self._apply_changed_transition(initiator, responder, result, 1)
         self.steps_taken += 1
         return result.changed
 
-    def run(
-        self,
-        max_steps: int,
-        criterion: ConvergenceCriterion[State] | None = None,
-        check_interval: int | None = None,
-    ) -> bool:
-        """Run until the criterion holds or ``max_steps`` interactions elapsed."""
-        if max_steps < 0:
-            raise ValueError("max_steps must be non-negative")
-        if criterion is None:
-            for _ in range(max_steps):
-                self.step()
-            return False
-        interval = check_interval or max(1, self._num_agents)
-        if criterion.is_converged_configuration(self.protocol, self._configuration):
-            return True
-        executed = 0
-        while executed < max_steps:
-            burst = min(interval, max_steps - executed)
-            for _ in range(burst):
-                self.step()
-            executed += burst
-            if criterion.is_converged_configuration(self.protocol, self._configuration):
-                return True
-        return False
-
-    # -- inspection -------------------------------------------------------------------
-
-    @property
-    def num_agents(self) -> int:
-        """The (constant) population size."""
-        return self._num_agents
-
-    def configuration(self) -> Multiset[State]:
-        """A copy of the current configuration."""
-        return self._configuration.copy()
-
-    def output_counts(self) -> dict[int, int]:
-        """How many agents currently output each color."""
-        counts: dict[int, int] = {}
-        for state, count in self._configuration.items():
-            color = self.protocol.output(state)
-            counts[color] = counts.get(color, 0) + count
-        return counts
-
-    def unanimous_output(self) -> int | None:
-        """The common output color if all agents agree, else ``None``."""
-        counts = self.output_counts()
-        if len(counts) == 1:
-            return next(iter(counts))
-        return None
+    def _advance(self, max_interactions: int) -> int:
+        for _ in range(max_interactions):
+            self.step()
+        return max_interactions

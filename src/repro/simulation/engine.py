@@ -9,15 +9,17 @@ adaptive adversaries) — at the cost of O(1) work per interaction plus the
 
 from __future__ import annotations
 
-from collections.abc import Callable, Hashable, Mapping, Sequence
+from collections.abc import Callable, Hashable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Generic, TypeVar
 
 from repro.protocols.base import PopulationProtocol
 from repro.scheduling.base import Scheduler
+from repro.simulation.base import SimulationEngine
 from repro.simulation.convergence import ConvergenceCriterion
 from repro.simulation.population import Population
 from repro.simulation.trace import Trace, TraceEvent
+from repro.utils.rng import RngLike
 
 State = TypeVar("State", bound=Hashable)
 
@@ -41,8 +43,10 @@ class StepRecord(Generic[State]):
         return self.before != self.after
 
 
-class AgentSimulation(Generic[State]):
+class AgentSimulation(SimulationEngine[State], Generic[State]):
     """Simulate a protocol over an indexed population under a scheduler."""
+
+    engine_name = "agent"
 
     def __init__(
         self,
@@ -51,6 +55,7 @@ class AgentSimulation(Generic[State]):
         scheduler: Scheduler,
         trace: Trace | None = None,
         metrics: Mapping[str, MetricFn] | None = None,
+        transition_observer=None,
     ) -> None:
         """Create the simulation.
 
@@ -63,6 +68,11 @@ class AgentSimulation(Generic[State]):
                 recorded together with the metric values.
             metrics: optional named metric functions evaluated on the state
                 list at every recorded step.
+            transition_observer: optional hook ``(initiator_before,
+                responder_before, result, count)`` invoked for every
+                interaction that changed at least one state (``count`` is
+                always 1 for this engine) — the same contract as the
+                configuration-level engines.
         """
         self.protocol = protocol
         self.population = (
@@ -76,8 +86,41 @@ class AgentSimulation(Generic[State]):
         self.scheduler = scheduler
         self.trace = trace
         self.metrics = dict(metrics or {})
+        self.transition_observer = transition_observer
         self.steps_taken = 0
         self.interactions_changed = 0
+
+    @classmethod
+    def from_colors(
+        cls,
+        protocol: PopulationProtocol[State],
+        colors: Iterable[int],
+        seed: RngLike = None,
+        scheduler: Scheduler | None = None,
+        trace: Trace | None = None,
+        metrics: Mapping[str, MetricFn] | None = None,
+        transition_observer=None,
+    ) -> "AgentSimulation[State]":
+        """Create the initial population from input colors.
+
+        When no scheduler is given, a seeded
+        :class:`~repro.scheduling.permutation.RandomPermutationScheduler`
+        (weakly fair and randomized — the same default as the high-level run
+        API) is used.
+        """
+        from repro.scheduling.permutation import RandomPermutationScheduler
+
+        population = Population.from_colors(protocol, colors)
+        if scheduler is None:
+            scheduler = RandomPermutationScheduler(len(population), seed=seed)
+        return cls(
+            protocol,
+            population,
+            scheduler,
+            trace=trace,
+            metrics=metrics,
+            transition_observer=transition_observer,
+        )
 
     # -- stepping ---------------------------------------------------------------
 
@@ -93,6 +136,8 @@ class AgentSimulation(Generic[State]):
             states[initiator_index] = result.initiator
             states[responder_index] = result.responder
             self.interactions_changed += 1
+            if self.transition_observer is not None:
+                self.transition_observer(before[0], before[1], result, 1)
         record = StepRecord(
             step=self.steps_taken,
             initiator=initiator_index,
@@ -116,41 +161,20 @@ class AgentSimulation(Generic[State]):
         self.steps_taken += 1
         return record
 
-    def run(
-        self,
-        max_steps: int,
-        criterion: ConvergenceCriterion[State] | None = None,
-        check_interval: int | None = None,
-    ) -> bool:
-        """Run until the criterion holds or ``max_steps`` interactions elapsed.
-
-        Returns:
-            True when the criterion was satisfied (always False when no
-            criterion is given — the simulation simply runs ``max_steps``).
-        """
-        if max_steps < 0:
-            raise ValueError("max_steps must be non-negative")
-        if criterion is None:
-            for _ in range(max_steps):
-                self.step()
-            return False
-        interval = check_interval or max(1, len(self.population) * (len(self.population) - 1))
-        if self._converged(criterion):
-            return True
-        executed = 0
-        while executed < max_steps:
-            burst = min(interval, max_steps - executed)
-            for _ in range(burst):
-                self.step()
-            executed += burst
-            if self._converged(criterion):
-                return True
-        return False
+    def _advance(self, max_interactions: int) -> int:
+        for _ in range(max_interactions):
+            self.step()
+        return max_interactions
 
     def _converged(self, criterion: ConvergenceCriterion[State]) -> bool:
         return criterion.is_converged(self.protocol, self.population.states())
 
     # -- inspection ----------------------------------------------------------------
+
+    @property
+    def num_agents(self) -> int:
+        """The (constant) population size."""
+        return len(self.population)
 
     def states(self) -> list[State]:
         """A copy of the current agent states."""

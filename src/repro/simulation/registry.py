@@ -1,0 +1,55 @@
+"""Engine selection.
+
+Experiments used to pick a simulation engine by hard-coding a class; the
+registry gives the choice a name so that it can travel through configuration
+(``run_protocol(..., engine="batch")``, experiment parameters, benchmark
+sweeps) instead of through imports:
+
+* ``"agent"`` — :class:`~repro.simulation.engine.AgentSimulation`: tracks
+  every agent individually; the only engine that supports arbitrary (e.g.
+  adversarial) schedulers and interaction traces.
+* ``"configuration"`` — :class:`~repro.simulation.config_engine.ConfigurationSimulation`:
+  exact sequential sampling from the configuration under the uniform random
+  scheduler; ``O(d)`` per interaction.
+* ``"batch"`` — :class:`~repro.simulation.batch_engine.BatchConfigurationSimulation`:
+  the same chain as ``"configuration"`` but sampled in exact bursts of
+  ``Θ(√n)`` interactions; the fast path for large-population convergence
+  sweeps.
+
+>>> from repro.simulation import get_engine
+>>> get_engine("batch").engine_name
+'batch'
+"""
+
+from __future__ import annotations
+
+from repro.simulation.base import SimulationEngine
+from repro.simulation.batch_engine import BatchConfigurationSimulation
+from repro.simulation.config_engine import ConfigurationSimulation
+from repro.simulation.engine import AgentSimulation
+
+#: Registry of engine name -> engine class.
+ENGINES: dict[str, type[SimulationEngine]] = {
+    AgentSimulation.engine_name: AgentSimulation,
+    ConfigurationSimulation.engine_name: ConfigurationSimulation,
+    BatchConfigurationSimulation.engine_name: BatchConfigurationSimulation,
+}
+
+
+def available_engines() -> tuple[str, ...]:
+    """The names :func:`get_engine` accepts, sorted."""
+    return tuple(sorted(ENGINES))
+
+
+def get_engine(name: str) -> type[SimulationEngine]:
+    """Resolve an engine name to its class.
+
+    Raises:
+        ValueError: for unknown names, listing the available ones.
+    """
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; available engines: {', '.join(available_engines())}"
+        ) from None

@@ -6,6 +6,24 @@ experiment harness all share.  The result is a :class:`RunResult` dataclass
 holding everything an experiment needs to report: whether the run converged,
 whether the final outputs are correct, how many interactions and ket
 exchanges it took, and the initial/final energies.
+
+Engine selection
+----------------
+
+Both entry points accept ``engine=`` with a registry name from
+:mod:`repro.simulation.registry`:
+
+* ``"agent"`` (default) — per-agent simulation; the only engine that
+  supports custom schedulers (``scheduler=``) and trace recording
+  (``record_trace=True``).
+* ``"configuration"`` — exact sequential configuration-level sampling of the
+  uniform random scheduler.
+* ``"batch"`` — the batched configuration-level engine; the fast path for
+  large populations (E6-scale convergence sweeps).
+
+The configuration-level engines *are* the uniform random scheduler, so they
+reject an explicit ``scheduler=`` argument; results report the scheduler as
+``"uniform-random"``.
 """
 
 from __future__ import annotations
@@ -18,12 +36,12 @@ from repro.core.circles import CirclesProtocol, CirclesVariant
 from repro.core.greedy_sets import has_unique_majority, predicted_majority
 from repro.core.potential import configuration_energy
 from repro.core.state import CirclesState
-from repro.protocols.base import PopulationProtocol
+from repro.protocols.base import PopulationProtocol, TransitionResult
 from repro.scheduling.base import Scheduler
-from repro.scheduling.permutation import RandomPermutationScheduler
+from repro.simulation.base import SimulationEngine
 from repro.simulation.convergence import ConvergenceCriterion, OutputConsensus, StableCircles
 from repro.simulation.engine import AgentSimulation
-from repro.simulation.population import Population
+from repro.simulation.registry import get_engine
 from repro.simulation.trace import Trace
 from repro.utils.rng import RngLike
 
@@ -40,6 +58,32 @@ def default_max_steps(num_agents: int, num_colors: int) -> int:
     this with experiment-specific budgets.
     """
     return max(2_000, 4 * num_agents * num_agents * (num_agents + num_colors))
+
+
+def ket_exchange_occurred(
+    before: tuple[CirclesState, CirclesState], after: tuple[CirclesState, CirclesState]
+) -> bool:
+    """Whether an interaction exchanged kets, judged from both sides.
+
+    :meth:`CirclesProtocol.transition` swaps *both* kets whenever it swaps
+    any, so for the paper's protocol the two sides always agree; counting
+    either side keeps the statistic correct for transition variants in which
+    only the responder's ket moves (a responder-side-only change used to be
+    silently dropped by an initiator-only check).  One interaction counts as
+    at most one exchange even though it touches two kets.
+    """
+    return (
+        before[0].braket.ket != after[0].braket.ket
+        or before[1].braket.ket != after[1].braket.ket
+    )
+
+
+def _validate_input_colors(colors: Sequence[int]) -> None:
+    """Population protocols need an interaction partner for every agent."""
+    if len(colors) < 2:
+        raise ValueError(
+            f"at least two input colors are required (one per agent), got {len(colors)}"
+        )
 
 
 @dataclass
@@ -87,6 +131,52 @@ def _true_majority(colors: Sequence[int]) -> int | None:
     return predicted_majority(colors) if has_unique_majority(colors) else None
 
 
+def _resolve_engine(
+    engine: str, scheduler: Scheduler | None, record_trace: bool
+) -> type[SimulationEngine]:
+    """Look up the engine and reject options it cannot honor."""
+    engine_cls = get_engine(engine)
+    if not issubclass(engine_cls, AgentSimulation):
+        if scheduler is not None:
+            raise ValueError(
+                f"engine {engine!r} simulates the uniform random scheduler directly; "
+                "pass engine='agent' to use a custom scheduler"
+            )
+        if record_trace:
+            raise ValueError(
+                f"engine {engine!r} does not track individual agents; "
+                "pass engine='agent' to record an interaction trace"
+            )
+    return engine_cls
+
+
+def _build_simulation(
+    engine_cls: type[SimulationEngine],
+    protocol: PopulationProtocol[State],
+    colors: Sequence[int],
+    scheduler: Scheduler | None,
+    seed: RngLike,
+    record_trace: bool,
+    transition_observer=None,
+) -> tuple[SimulationEngine[State], Trace | None, str]:
+    """Construct the selected engine; returns (simulation, trace, scheduler name)."""
+    if issubclass(engine_cls, AgentSimulation):
+        trace = Trace() if record_trace else None
+        simulation = engine_cls.from_colors(
+            protocol,
+            colors,
+            seed=seed,
+            scheduler=scheduler,
+            trace=trace,
+            transition_observer=transition_observer,
+        )
+        return simulation, trace, simulation.scheduler.name
+    simulation = engine_cls.from_colors(
+        protocol, colors, seed=seed, transition_observer=transition_observer
+    )
+    return simulation, None, "uniform-random"
+
+
 def run_protocol(
     protocol: PopulationProtocol[State],
     colors: Sequence[int],
@@ -96,47 +186,54 @@ def run_protocol(
     seed: RngLike = None,
     record_trace: bool = False,
     check_interval: int | None = None,
+    engine: str = "agent",
 ) -> RunResult:
     """Run any population protocol on an input color assignment.
 
     Args:
         protocol: the protocol to run.
-        colors: one input color per agent.
+        colors: one input color per agent (at least two agents).
         scheduler: defaults to :class:`RandomPermutationScheduler` (weakly
-            fair and randomized), seeded with ``seed``.
+            fair and randomized), seeded with ``seed``; only the ``"agent"``
+            engine accepts one.
         criterion: defaults to :class:`OutputConsensus`.
         max_steps: interaction budget; defaults to
             :func:`default_max_steps`.
-        seed: seed for the default scheduler (ignored when ``scheduler`` is
-            passed explicitly).
-        record_trace: record a full interaction trace on the result.
-        check_interval: how often (in interactions) the criterion is checked.
+        seed: seed for the default scheduler (``"agent"`` engine) or the
+            engine's sampler (configuration-level engines).
+        record_trace: record a full interaction trace on the result
+            (``"agent"`` engine only).
+        check_interval: how often (in interactions) the criterion is checked;
+            defaults to :func:`~repro.simulation.base.default_check_interval`.
+        engine: engine registry name — ``"agent"``, ``"configuration"`` or
+            ``"batch"``.
 
     Returns:
         A :class:`RunResult`; ``correct`` is True when the input has a unique
         majority and every agent outputs it.
     """
     colors = tuple(colors)
-    population = Population.from_colors(protocol, colors)
-    if scheduler is None:
-        scheduler = RandomPermutationScheduler(len(population), seed=seed)
+    _validate_input_colors(colors)
+    engine_cls = _resolve_engine(engine, scheduler, record_trace)
     if criterion is None:
         criterion = OutputConsensus()
     budget = max_steps if max_steps is not None else default_max_steps(
-        len(population), protocol.num_colors
+        len(colors), protocol.num_colors
     )
-    trace = Trace() if record_trace else None
-    simulation = AgentSimulation(protocol, population, scheduler, trace=trace)
+
+    simulation, trace, scheduler_name = _build_simulation(
+        engine_cls, protocol, colors, scheduler, seed, record_trace
+    )
     converged = simulation.run(budget, criterion=criterion, check_interval=check_interval)
     outputs = tuple(simulation.outputs())
     majority = _true_majority(colors)
     correct = majority is not None and all(output == majority for output in outputs)
     return RunResult(
         protocol_name=protocol.name,
-        num_agents=len(population),
+        num_agents=len(colors),
         num_colors=protocol.num_colors,
         input_colors=colors,
-        scheduler_name=scheduler.name,
+        scheduler_name=scheduler_name,
         converged=converged,
         steps=simulation.steps_taken,
         interactions_changed=simulation.interactions_changed,
@@ -157,6 +254,7 @@ def run_circles(
     seed: RngLike = None,
     record_trace: bool = False,
     check_interval: int | None = None,
+    engine: str = "agent",
 ) -> RunResult:
     """Run the Circles protocol on an input color assignment.
 
@@ -165,42 +263,43 @@ def run_circles(
     configuration energies.
 
     Args:
-        colors: one input color per agent.
+        colors: one input color per agent (at least two agents).
         num_colors: the protocol's ``k``; defaults to ``max(colors) + 1``.
-        scheduler: defaults to a seeded :class:`RandomPermutationScheduler`.
+        scheduler: defaults to a seeded :class:`RandomPermutationScheduler`;
+            only the ``"agent"`` engine accepts one.
         variant: ablation switches; defaults to the paper's protocol.
-        max_steps / seed / record_trace / check_interval: as in
+        max_steps / seed / record_trace / check_interval / engine: as in
             :func:`run_protocol`.
     """
     colors = tuple(colors)
-    if not colors:
-        raise ValueError("at least one input color is required")
+    _validate_input_colors(colors)
+    engine_cls = _resolve_engine(engine, scheduler, record_trace)
     k = num_colors if num_colors is not None else max(colors) + 1
     protocol = CirclesProtocol(k, variant=variant)
-    population = Population.from_colors(protocol, colors)
-    if scheduler is None:
-        scheduler = RandomPermutationScheduler(len(population), seed=seed)
-    budget = max_steps if max_steps is not None else default_max_steps(len(population), k)
-    trace = Trace() if record_trace else None
-
-    initial_states: Sequence[CirclesState] = population.states()
-    initial_energy = configuration_energy(initial_states, k)
-
-    simulation = AgentSimulation(protocol, population, scheduler, trace=trace)
+    budget = max_steps if max_steps is not None else default_max_steps(len(colors), k)
     criterion = StableCircles()
 
+    initial_states = [protocol.initial_state(color) for color in colors]
+    initial_energy = configuration_energy(initial_states, k)
+
     ket_exchanges = 0
-    interval = check_interval or max(1, len(population) * (len(population) - 1))
-    converged = criterion.is_converged(protocol, simulation.states())
-    executed = 0
-    while not converged and executed < budget:
-        burst = min(interval, budget - executed)
-        for _ in range(burst):
-            record = simulation.step()
-            if record.before[0].braket.ket != record.after[0].braket.ket:
-                ket_exchanges += 1
-        executed += burst
-        converged = criterion.is_converged(protocol, simulation.states())
+
+    def observe(
+        initiator: CirclesState,
+        responder: CirclesState,
+        result: TransitionResult[CirclesState],
+        count: int,
+    ) -> None:
+        nonlocal ket_exchanges
+        if ket_exchange_occurred(
+            (initiator, responder), (result.initiator, result.responder)
+        ):
+            ket_exchanges += count
+
+    simulation, trace, scheduler_name = _build_simulation(
+        engine_cls, protocol, colors, scheduler, seed, record_trace, transition_observer=observe
+    )
+    converged = simulation.run(budget, criterion=criterion, check_interval=check_interval)
 
     final_states = tuple(simulation.states())
     outputs = tuple(simulation.outputs())
@@ -208,10 +307,10 @@ def run_circles(
     correct = majority is not None and all(output == majority for output in outputs)
     return RunResult(
         protocol_name=protocol.name,
-        num_agents=len(population),
+        num_agents=len(colors),
         num_colors=k,
         input_colors=colors,
-        scheduler_name=scheduler.name,
+        scheduler_name=scheduler_name,
         converged=converged,
         steps=simulation.steps_taken,
         interactions_changed=simulation.interactions_changed,

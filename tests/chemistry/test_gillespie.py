@@ -32,6 +32,27 @@ class TestBasics:
         result = simulate_crn(_ab_annihilation(), {"A": 5, "B": 5}, max_time=1e-12, seed=3)
         assert result.reactions_fired == 0
 
+    def test_reported_time_never_overshoots_the_cap(self):
+        """Regression: the waiting time past the cap used to leak into ``time``."""
+        max_time = 1e-12
+        result = simulate_crn(_ab_annihilation(), {"A": 5, "B": 5}, max_time=max_time, seed=3)
+        assert result.time <= max_time
+        # A mid-run cap (some reactions fire, then the budget hits) clamps too.
+        for seed in range(10):
+            partial = simulate_crn(
+                _ab_annihilation(), {"A": 200, "B": 200}, max_time=2e-5, seed=seed
+            )
+            assert partial.time <= 2e-5
+            if not partial.exhausted and partial.reactions_fired:
+                assert partial.time == 2e-5
+
+    def test_trajectory_times_respect_the_cap(self):
+        max_time = 3e-5
+        result = simulate_crn(
+            _ab_annihilation(), {"A": 200, "B": 200}, max_time=max_time, seed=6, record_every=1
+        )
+        assert all(time <= max_time for time, _ in result.trajectory)
+
     def test_mass_conservation(self):
         result = simulate_crn(_ab_annihilation(), {"A": 4, "B": 2}, seed=4)
         assert sum(result.final_counts.values()) == 6

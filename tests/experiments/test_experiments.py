@@ -29,6 +29,11 @@ class TestE2:
         assert all(value is not None for value in result.column("interactions to stability"))
         assert all(value < 10_000 for value in result.column("ket exchanges"))
 
+    def test_batched_engine_measures_the_same_claims(self):
+        result = e2_stabilization.run(populations=(20, 30), ks=(3,), seed=5, engine="batch")
+        assert all(result.column("g(C) strictly decreasing"))
+        assert all(value is not None for value in result.column("interactions to stability"))
+
 
 class TestE3:
     def test_all_checks_pass(self):
@@ -67,6 +72,13 @@ class TestE6:
         assert rows["circles"][-1] == "2/2"
         assert rows["exact-majority"][-1] == "2/2"
 
+    def test_agent_engine_path_still_supported(self):
+        result = e6_convergence.run(
+            populations=(10,), ks=(2,), trials=2, seed=4, adversarial=False, engine="agent"
+        )
+        rows = {row[0]: row for row in result.rows}
+        assert rows["circles"][-1] == "2/2"
+
 
 class TestE7:
     def test_extension_state_counts(self):
@@ -84,4 +96,10 @@ class TestE8:
         assert rows["uniform-random"][-1] == "2/2"
         assert rows["round-robin"][-1] == "2/2"
         assert rows["greedy-stall"][-1] == "2/2"
+        assert rows["isolation"][-1] == "0/2"
+
+    def test_batched_engine_runs_the_fair_baseline(self):
+        result = e8_scheduler_sensitivity.run(num_agents=9, trials=2, seed=7, engine="batch")
+        rows = {row[0]: row for row in result.rows}
+        assert rows["uniform-random"][-1] == "2/2"
         assert rows["isolation"][-1] == "0/2"

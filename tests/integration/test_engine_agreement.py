@@ -16,6 +16,7 @@ from repro.core.circles import CirclesProtocol
 from repro.core.greedy_sets import predicted_stable_brakets
 from repro.core.potential import configuration_energy, minimum_energy
 from repro.scheduling.random_uniform import UniformRandomScheduler
+from repro.simulation.batch_engine import BatchConfigurationSimulation
 from repro.simulation.config_engine import ConfigurationSimulation
 from repro.simulation.convergence import StableCircles
 from repro.simulation.engine import AgentSimulation
@@ -24,6 +25,9 @@ from repro.utils.multiset import Multiset
 
 COLORS = [0, 0, 0, 0, 1, 1, 2, 3]
 K = 4
+#: A population large enough that the batched engine's burst path (not its
+#: small-n sequential fallback) is what gets exercised.
+BATCH_COLORS = [0] * 10 + [1] * 7 + [2] * 3 + [3] * 2
 
 
 def _final_brakets_agent_engine(seed: int) -> Multiset:
@@ -44,6 +48,16 @@ def _final_brakets_config_engine(seed: int) -> Multiset:
     return Multiset(state.braket for state in simulation.configuration().elements())
 
 
+def _final_brakets_batch_engine(seed: int, colors=None) -> Multiset:
+    protocol = CirclesProtocol(K)
+    simulation = BatchConfigurationSimulation.from_colors(
+        protocol, colors if colors is not None else COLORS, seed=seed
+    )
+    converged = simulation.run(500_000, criterion=StableCircles(), check_interval=32)
+    assert converged
+    return Multiset(state.braket for state in simulation.states())
+
+
 def _final_brakets_gillespie(seed: int) -> Multiset:
     protocol = CirclesProtocol(K)
     initial = Multiset(protocol.initial_state(color) for color in COLORS)
@@ -53,15 +67,25 @@ def _final_brakets_gillespie(seed: int) -> Multiset:
 
 
 @pytest.mark.parametrize("seed", [1, 2, 3])
-def test_all_three_engines_reach_the_predicted_configuration(seed):
+def test_all_engines_reach_the_predicted_configuration(seed):
     prediction = predicted_stable_brakets(COLORS)
     assert _final_brakets_agent_engine(seed) == prediction
     assert _final_brakets_config_engine(seed) == prediction
+    assert _final_brakets_batch_engine(seed) == prediction
     assert _final_brakets_gillespie(seed) == prediction
 
 
-def test_all_three_engines_reach_the_same_minimum_energy():
+def test_all_engines_reach_the_same_minimum_energy():
     expected = minimum_energy(COLORS, K)
     assert configuration_energy(_final_brakets_agent_engine(7).elements(), K) == expected
     assert configuration_energy(_final_brakets_config_engine(7).elements(), K) == expected
+    assert configuration_energy(_final_brakets_batch_engine(7).elements(), K) == expected
     assert configuration_energy(_final_brakets_gillespie(7).elements(), K) == expected
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+def test_batched_bursts_reach_the_predicted_configuration(seed):
+    """Same agreement with the burst machinery active (n above the fallback)."""
+    assert _final_brakets_batch_engine(seed, BATCH_COLORS) == predicted_stable_brakets(
+        BATCH_COLORS
+    )

@@ -1,0 +1,202 @@
+"""Tests for the batched configuration-level simulation engine.
+
+The engine's claim is *exactness*: it samples the same Markov chain over
+configurations as :class:`ConfigurationSimulation`, just in bursts.  Besides
+the usual unit checks, this module therefore carries a distributional
+agreement test (two-sample chi-squared on output-count histograms across
+hundreds of seeded runs) and invariant checks on the burst machinery
+(population conservation, pool/configuration consistency, exact budget
+accounting across collision corrections).
+"""
+
+import pytest
+
+from repro.core.circles import CirclesProtocol
+from repro.core.greedy_sets import predicted_stable_brakets
+from repro.core.invariants import braket_invariant_holds
+from repro.simulation.batch_engine import (
+    SEQUENTIAL_FALLBACK_THRESHOLD,
+    BatchConfigurationSimulation,
+)
+from repro.simulation.config_engine import ConfigurationSimulation
+from repro.simulation.convergence import StableCircles
+from repro.utils.multiset import Multiset
+
+# 99.9th percentiles of the chi-squared distribution by degrees of freedom;
+# generous so the (deterministic, seeded) agreement test is meaningful but
+# not knife-edged.
+_CHI2_999 = {
+    1: 10.83, 2: 13.82, 3: 16.27, 4: 18.47, 5: 20.52, 6: 22.46, 7: 24.32,
+    8: 26.12, 9: 27.88, 10: 29.59, 11: 31.26, 12: 32.91, 13: 34.53,
+    14: 36.12, 15: 37.70, 16: 39.25, 17: 40.79, 18: 42.31, 19: 43.82,
+    20: 45.31,
+}
+
+
+def _two_sample_chi_squared(first: dict[int, int], second: dict[int, int]) -> tuple[float, float]:
+    """The two-sample chi-squared statistic and its 99.9% critical value.
+
+    Bins observed fewer than 10 times in total are pooled (standard practice
+    for validity of the chi-squared approximation).
+    """
+    keys = sorted(set(first) | set(second))
+    bins: list[tuple[int, int]] = []
+    acc_first = acc_second = 0
+    for key in keys:
+        acc_first += first.get(key, 0)
+        acc_second += second.get(key, 0)
+        if acc_first + acc_second >= 10:
+            bins.append((acc_first, acc_second))
+            acc_first = acc_second = 0
+    if acc_first + acc_second:
+        if bins:
+            last_first, last_second = bins.pop()
+            bins.append((last_first + acc_first, last_second + acc_second))
+        else:
+            bins.append((acc_first, acc_second))
+    total_first = sum(count for count, _ in bins)
+    total_second = sum(count for _, count in bins)
+    total = total_first + total_second
+    statistic = 0.0
+    for count_first, count_second in bins:
+        row = count_first + count_second
+        expected_first = row * total_first / total
+        expected_second = row * total_second / total
+        statistic += (count_first - expected_first) ** 2 / expected_first
+        statistic += (count_second - expected_second) ** 2 / expected_second
+    df = max(1, len(bins) - 1)
+    return statistic, _CHI2_999[min(df, max(_CHI2_999))]
+
+
+class TestConstruction:
+    def test_from_colors(self):
+        simulation = BatchConfigurationSimulation.from_colors(
+            CirclesProtocol(3), [0, 0, 1], seed=1
+        )
+        assert simulation.num_agents == 3
+        assert len(simulation.configuration()) == 3
+
+    def test_requires_two_agents(self):
+        protocol = CirclesProtocol(2)
+        with pytest.raises(ValueError):
+            BatchConfigurationSimulation(protocol, [protocol.initial_state(0)])
+
+    def test_engine_name(self):
+        assert BatchConfigurationSimulation.engine_name == "batch"
+
+
+class TestBurstMachinery:
+    def test_exact_budget_accounting(self):
+        """run(T) executes exactly T interactions, collision corrections included."""
+        colors = [0] * 30 + [1] * 20 + [2] * 10
+        simulation = BatchConfigurationSimulation.from_colors(
+            CirclesProtocol(3), colors, seed=3
+        )
+        for budget in (1, 7, 1_000, 4_321):
+            before = simulation.steps_taken
+            simulation.run(budget)
+            assert simulation.steps_taken == before + budget
+
+    @pytest.mark.parametrize("num_agents", [16, 17, 33, 90])
+    def test_population_and_pool_stay_consistent(self, num_agents):
+        """The agent pool and the count table describe the same multiset."""
+        colors = [index % 3 for index in range(num_agents)]
+        simulation = BatchConfigurationSimulation.from_colors(
+            CirclesProtocol(3), colors, seed=num_agents
+        )
+        for _ in range(50):
+            simulation.run_burst()
+            assert Multiset(simulation.states()) == simulation.configuration()
+            assert len(simulation.configuration()) == num_agents
+
+    def test_braket_invariant_preserved(self):
+        simulation = BatchConfigurationSimulation.from_colors(
+            CirclesProtocol(4), [0, 0, 1, 2, 3, 3] * 5, seed=5
+        )
+        for _ in range(40):
+            simulation.run_burst()
+            assert braket_invariant_holds(simulation.states())
+
+    def test_small_populations_use_sequential_fallback(self):
+        colors = [0, 0, 1] * 4  # n = 12 < threshold
+        assert len(colors) < SEQUENTIAL_FALLBACK_THRESHOLD
+        simulation = BatchConfigurationSimulation.from_colors(
+            CirclesProtocol(2), colors, seed=7
+        )
+        simulation.run(500)
+        assert simulation.steps_taken == 500
+        assert len(simulation.configuration()) == len(colors)
+
+    def test_same_seed_same_trajectory(self):
+        colors = [0] * 20 + [1] * 12
+        runs = []
+        for _ in range(2):
+            simulation = BatchConfigurationSimulation.from_colors(
+                CirclesProtocol(2), colors, seed=11
+            )
+            simulation.run(2_000)
+            runs.append(simulation.configuration())
+        assert runs[0] == runs[1]
+
+    def test_observer_counts_match_interactions_changed(self):
+        observed = 0
+
+        def observe(initiator, responder, result, count):
+            nonlocal observed
+            observed += count
+
+        colors = [0] * 25 + [1] * 15 + [2] * 10
+        simulation = BatchConfigurationSimulation.from_colors(
+            CirclesProtocol(3), colors, seed=13, transition_observer=observe
+        )
+        simulation.run(5_000)
+        assert observed == simulation.interactions_changed > 0
+
+
+class TestConvergence:
+    def test_reaches_predicted_stable_configuration(self):
+        colors = [0] * 8 + [1] * 6 + [2] * 4  # n = 18: the burst path is active
+        simulation = BatchConfigurationSimulation.from_colors(
+            CirclesProtocol(3), colors, seed=17
+        )
+        converged = simulation.run(500_000, criterion=StableCircles())
+        assert converged
+        final_brakets = Multiset(state.braket for state in simulation.states())
+        assert final_brakets == predicted_stable_brakets(colors)
+        assert simulation.unanimous_output() == 0
+
+    def test_negative_budget_rejected(self):
+        simulation = BatchConfigurationSimulation.from_colors(
+            CirclesProtocol(2), [0, 1], seed=1
+        )
+        with pytest.raises(ValueError):
+            simulation.run(-5)
+
+
+class TestDistributionalAgreement:
+    """The batched and the sequential engine sample the same chain."""
+
+    TRIALS = 300
+    HORIZON = 60
+    COLORS = [0] * 12 + [1] * 8  # n = 20: several bursts per run
+
+    def _majority_count_histogram(self, engine_cls, seed_base: int) -> dict[int, int]:
+        histogram: dict[int, int] = {}
+        protocol = CirclesProtocol(2)
+        for trial in range(self.TRIALS):
+            simulation = engine_cls.from_colors(
+                protocol, self.COLORS, seed=seed_base + trial
+            )
+            simulation.run(self.HORIZON)
+            count = simulation.output_counts().get(0, 0)
+            histogram[count] = histogram.get(count, 0) + 1
+        return histogram
+
+    def test_output_count_distributions_agree(self):
+        batched = self._majority_count_histogram(BatchConfigurationSimulation, 40_000)
+        sequential = self._majority_count_histogram(ConfigurationSimulation, 80_000)
+        statistic, critical = _two_sample_chi_squared(batched, sequential)
+        assert statistic < critical, (
+            f"chi-squared {statistic:.1f} exceeds the 99.9% critical value {critical:.1f}: "
+            f"batched {batched} vs sequential {sequential}"
+        )

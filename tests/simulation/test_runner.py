@@ -4,10 +4,17 @@ import pytest
 
 from repro.core.circles import CirclesProtocol
 from repro.core.greedy_sets import predicted_stable_brakets
+from repro.core.state import CirclesState
 from repro.protocols.exact_majority import ExactMajorityProtocol
 from repro.scheduling.round_robin import RoundRobinScheduler
 from repro.simulation.convergence import OutputConsensus
-from repro.simulation.runner import RunResult, default_max_steps, run_circles, run_protocol
+from repro.simulation.runner import (
+    RunResult,
+    default_max_steps,
+    ket_exchange_occurred,
+    run_circles,
+    run_protocol,
+)
 from repro.utils.multiset import Multiset
 
 
@@ -46,8 +53,14 @@ class TestRunCircles:
         assert outcome.correct
 
     def test_empty_input_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="at least two input colors"):
             run_circles([])
+
+    def test_single_agent_input_rejected_with_the_same_message(self):
+        """Regression: a one-agent input used to fall through to Population's
+        unrelated "needs at least two agents" error."""
+        with pytest.raises(ValueError, match="at least two input colors"):
+            run_circles([0])
 
     def test_tie_input_reports_not_correct(self):
         outcome = run_circles([0, 0, 1, 1], seed=3)
@@ -95,3 +108,74 @@ class TestRunProtocol:
     def test_trace_recording(self):
         outcome = run_protocol(CirclesProtocol(2), [0, 1], seed=1, record_trace=True, max_steps=10)
         assert outcome.trace is not None
+
+    def test_empty_and_single_agent_inputs_rejected(self):
+        with pytest.raises(ValueError, match="at least two input colors"):
+            run_protocol(CirclesProtocol(2), [])
+        with pytest.raises(ValueError, match="at least two input colors"):
+            run_protocol(CirclesProtocol(2), [1])
+
+
+class TestKetExchangeCounting:
+    def _state(self, bra, ket, out=0):
+        return CirclesState(bra, ket, out)
+
+    def test_no_exchange(self):
+        before = (self._state(0, 1), self._state(1, 0))
+        after = (self._state(0, 1, 1), self._state(1, 0, 1))  # output-only change
+        assert not ket_exchange_occurred(before, after)
+
+    def test_both_sides_change_counts_once(self):
+        before = (self._state(0, 1), self._state(1, 0))
+        after = (self._state(0, 0), self._state(1, 1))
+        assert ket_exchange_occurred(before, after)
+
+    def test_responder_side_only_change_is_counted(self):
+        """Regression: the old initiator-only check silently dropped these."""
+        before = (self._state(0, 1), self._state(1, 0))
+        after = (self._state(0, 1), self._state(1, 1))
+        assert ket_exchange_occurred(before, after)
+
+    def test_initiator_side_only_change_is_counted(self):
+        before = (self._state(0, 1), self._state(1, 0))
+        after = (self._state(0, 0), self._state(1, 0))
+        assert ket_exchange_occurred(before, after)
+
+
+class TestEngineSelection:
+    COLORS = [0] * 10 + [1] * 6 + [2] * 4
+
+    @pytest.mark.parametrize("engine", ["agent", "configuration", "batch"])
+    def test_run_circles_converges_on_every_engine(self, engine):
+        outcome = run_circles(self.COLORS, seed=21, engine=engine)
+        assert outcome.converged and outcome.correct
+        assert outcome.ket_exchanges is not None and outcome.ket_exchanges > 0
+        assert outcome.final_energy is not None
+        assert outcome.final_energy < outcome.initial_energy
+        assert Multiset(s.braket for s in outcome.final_states) == predicted_stable_brakets(
+            self.COLORS
+        )
+
+    @pytest.mark.parametrize("engine", ["configuration", "batch"])
+    def test_configuration_engines_report_the_uniform_scheduler(self, engine):
+        outcome = run_circles([0, 0, 0, 1], seed=2, engine=engine)
+        assert outcome.scheduler_name == "uniform-random"
+
+    @pytest.mark.parametrize("engine", ["configuration", "batch"])
+    def test_run_protocol_supports_configuration_engines(self, engine):
+        outcome = run_protocol(ExactMajorityProtocol(), [0, 0, 0, 1, 1], seed=9, engine=engine)
+        assert outcome.correct
+        assert outcome.num_agents == 5
+        assert len(outcome.outputs) == 5
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_circles([0, 0, 1], engine="warp-drive")
+
+    def test_scheduler_requires_agent_engine(self):
+        with pytest.raises(ValueError, match="custom scheduler"):
+            run_circles([0, 0, 1], scheduler=RoundRobinScheduler(3), engine="batch")
+
+    def test_trace_requires_agent_engine(self):
+        with pytest.raises(ValueError, match="trace"):
+            run_protocol(CirclesProtocol(2), [0, 1], record_trace=True, engine="configuration")
