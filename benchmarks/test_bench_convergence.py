@@ -4,9 +4,16 @@ Regenerates the comparison table under the uniform random scheduler: Circles,
 the cancellation heuristic, the tournament comparator and (for k = 2) the
 classical exact/approximate majority protocols, on planted-majority and
 adversarial workloads.
+
+Unlike the other benchmarks this one drives the declarative sweep API
+directly: it takes E6's :func:`~repro.experiments.e6_convergence.sweep_specs`
+grids, executes them with :func:`~repro.api.executor.run_sweep`, and asserts
+on the raw :class:`~repro.api.records.RunRecord`s — the same records the
+experiment's table renderer aggregates.
 """
 
-from repro.experiments.e6_convergence import run as run_e6
+from repro.api.executor import run_sweep
+from repro.experiments.e6_convergence import run as run_e6, sweep_specs
 
 
 def test_bench_e6_convergence(run_experiment_once):
@@ -21,3 +28,20 @@ def test_bench_e6_convergence(run_experiment_once):
     # below 100% on the near-tie and adversarial workloads — is recorded in the table).
     heuristic_rows = [row for row in rows if row[0] == "cancellation-plurality"]
     assert heuristic_rows
+
+
+def test_bench_e6_sweep_records(benchmark):
+    """The same sweep at record level: every always-correct record is correct."""
+    specs = sweep_specs(populations=(16, 32), ks=(2, 4), trials=2, seed=59)
+
+    def execute():
+        return [run_sweep(spec) for spec in specs]
+
+    results = benchmark.pedantic(execute, rounds=1, iterations=1)
+    records = [record for result in results for record in result.records]
+    assert len(records) == sum(len(spec.expand()) for spec in specs)
+    for record in records:
+        if record.protocol_name in ("circles", "tournament-plurality"):
+            assert record.converged and record.correct
+        assert record.engine == "batch"
+        assert record.seed is not None  # every record re-runnable in isolation

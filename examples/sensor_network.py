@@ -14,21 +14,26 @@ and the behaviour of three protocols on the same skewed readings:
 * the naive cancellation heuristic (2k states, can be wrong),
 * the tournament comparator (always correct, but its state count explodes).
 
+The whole comparison is one declarative :class:`~repro.api.spec.SweepSpec`:
+the protocols are an axis, the Zipf readings are the named ``"zipf"``
+workload, and the sweep API guarantees every protocol (and every trial) sees
+*identical* readings — then ``aggregate`` turns the records into the table.
+The same spec could be dumped with ``spec.to_json()`` and re-run from the
+shell via ``python -m repro.api.sweep``.
+
 Run with:  python examples/sensor_network.py
 """
 
 import math
 
-from repro import CirclesProtocol, predicted_majority, run_circles, run_protocol
-from repro.protocols.cancellation_plurality import CancellationPluralityProtocol
-from repro.protocols.tournament_plurality import TournamentPluralityProtocol
-from repro.simulation.convergence import OutputConsensus
+from repro import get_protocol
+from repro.api import SweepSpec, run_sweep
 from repro.utils.tables import format_table
-from repro.workloads.distributions import zipf_colors
 
 NUM_SENSORS = 60
 NUM_BUCKETS = 5
 SEED = 7
+TRIALS = 3
 
 
 def bits(states: int) -> int:
@@ -37,53 +42,44 @@ def bits(states: int) -> int:
 
 
 def main() -> None:
-    readings = zipf_colors(NUM_SENSORS, NUM_BUCKETS, exponent=1.4, seed=SEED)
-    modal_bucket = predicted_majority(readings)
-    print(f"{NUM_SENSORS} sensors, {NUM_BUCKETS} buckets; true modal bucket: {modal_bucket}")
-    print(f"bucket histogram: { {b: readings.count(b) for b in range(NUM_BUCKETS)} }")
+    sweep = SweepSpec(
+        name="sensor-network",
+        protocols=("circles", "cancellation-plurality", "tournament-plurality"),
+        populations=(NUM_SENSORS,),
+        ks=(NUM_BUCKETS,),
+        workloads=(("zipf", {"exponent": 1.4}),),
+        engines=("batch",),
+        trials=TRIALS,
+        seed=SEED,
+        max_steps_quadratic=200,
+    )
+    result = run_sweep(sweep)
+
+    readings = result.records[0].spec
+    print(
+        f"{NUM_SENSORS} sensors, {NUM_BUCKETS} buckets; workload "
+        f"{readings.workload!r} (seed {readings.effective_workload_seed}) — "
+        f"identical readings for every protocol and trial"
+    )
+    print(f"true modal bucket: {result.records[0].majority}")
     print()
 
     rows = []
-
-    circles = CirclesProtocol(NUM_BUCKETS)
-    outcome = run_circles(
-        readings, num_colors=NUM_BUCKETS, seed=SEED, check_interval=NUM_SENSORS
-    )
-    rows.append(
-        (
-            circles.name,
-            circles.state_count(),
-            bits(circles.state_count()),
-            outcome.steps,
-            "yes" if outcome.correct else "no",
-        )
-    )
-
-    for protocol in (
-        CancellationPluralityProtocol(NUM_BUCKETS),
-        TournamentPluralityProtocol(NUM_BUCKETS),
-    ):
-        outcome = run_protocol(
-            protocol,
-            readings,
-            criterion=OutputConsensus(),
-            seed=SEED,
-            max_steps=200 * NUM_SENSORS * NUM_SENSORS,
-            check_interval=NUM_SENSORS,
-        )
+    for agg in result.aggregate(value="steps", by=("protocol", "k"), stats=("mean",)):
+        protocol = get_protocol(agg["protocol"], agg["k"])
         rows.append(
             (
                 protocol.name,
                 protocol.state_count(),
                 bits(protocol.state_count()),
-                outcome.steps,
-                "yes" if outcome.correct else "no",
+                round(agg["mean_steps"]),
+                f"{agg['correct']}/{agg['trials']}",
             )
         )
 
     print(
         format_table(
-            ["protocol", "states per sensor", "bits per sensor", "interactions", "correct"],
+            ["protocol", "states per sensor", "bits per sensor", "mean interactions", "correct"],
             rows,
         )
     )

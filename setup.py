@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of the Circles population protocol: relative majority "
         "with a cubic number of states (PODC 2025)"

@@ -17,6 +17,10 @@ The most common entry points are re-exported here:
   ``engine="agent" | "configuration" | "batch"`` (see
   :func:`get_engine`); the batched engine is the fast path for large
   populations.
+* :class:`RunSpec` / :class:`SweepSpec` / :func:`run_sweep` — the
+  declarative sweep layer (:mod:`repro.api`): describe runs and grids as
+  plain data (every axis by registry name), execute them serially or over a
+  process pool, and persist the resulting records as JSON.
 * :func:`predicted_majority`, :func:`predicted_stable_brakets` — the
   combinatorial predictions from the paper's proofs.
 * :mod:`repro.protocols` — baselines and the §4 extensions.
@@ -51,8 +55,10 @@ from repro.protocols.base import PopulationProtocol, TransitionResult
 from repro.protocols.registry import get_protocol, register_protocol
 from repro.simulation.registry import available_engines, get_engine
 from repro.simulation.runner import RunResult, run_circles, run_protocol
+from repro.workloads.registry import get_workload, register_workload, workload_names
+from repro.api import RunRecord, RunSpec, SweepResult, SweepSpec, run_sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -76,6 +82,14 @@ __all__ = [
     "RunResult",
     "run_circles",
     "run_protocol",
+    "get_workload",
+    "register_workload",
+    "workload_names",
+    "RunSpec",
+    "SweepSpec",
+    "RunRecord",
+    "SweepResult",
+    "run_sweep",
 ]
 
 

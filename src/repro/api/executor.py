@@ -1,0 +1,270 @@
+"""Spec execution: registries, the run function, and pluggable executors.
+
+This module turns a declarative :class:`~repro.api.spec.RunSpec` into a
+:class:`~repro.api.records.RunRecord`.  Everything a spec names resolves
+here, through registries:
+
+* **criteria** — ``"output-consensus"``, ``"silent"``, ``"stable-circles"``;
+* **schedulers** — built by name with the population size, a derived seed
+  and (for the adaptive adversaries) the protocol instance in hand, which is
+  why scheduler construction is a registry of *builders* rather than bare
+  classes;
+* **runners** — named run strategies.  The default ``"protocol"`` runner
+  resolves the protocol registry and dispatches to
+  :func:`~repro.simulation.runner.run_circles` /
+  :func:`~repro.simulation.runner.run_protocol`; experiments with bespoke
+  instrumentation (e.g. E2's per-exchange potential check) register their own
+  runner so they stay spec-drivable.
+
+:func:`execute_run` is a module-level function of the spec alone — no shared
+state, no ambient RNG — which is what makes the multiprocessing executor's
+results identical to the serial executor's, record for record.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Sequence
+
+from repro.api.records import RunRecord, SweepResult
+from repro.api.spec import RunSpec, SweepSpec, derive_seed
+from repro.protocols.base import PopulationProtocol
+from repro.protocols.registry import get_protocol
+from repro.scheduling.adversarial import GreedyStallScheduler, IsolationScheduler
+from repro.scheduling.base import Scheduler
+from repro.scheduling.permutation import RandomPermutationScheduler
+from repro.scheduling.random_uniform import UniformRandomScheduler
+from repro.scheduling.round_robin import RoundRobinScheduler
+from repro.simulation.convergence import (
+    ConvergenceCriterion,
+    OutputConsensus,
+    SilentConfiguration,
+    StableCircles,
+)
+from repro.simulation.runner import run_circles, run_protocol
+from repro.workloads.registry import DEFAULT_WORKLOADS
+
+# --------------------------------------------------------------------------- #
+# criteria
+# --------------------------------------------------------------------------- #
+
+#: Criterion name -> zero/keyword-argument factory.
+CRITERIA: dict[str, Callable[..., ConvergenceCriterion]] = {
+    OutputConsensus.name: OutputConsensus,
+    SilentConfiguration.name: SilentConfiguration,
+    StableCircles.name: StableCircles,
+}
+
+
+def build_criterion(name: str, **params: object) -> ConvergenceCriterion:
+    """Instantiate a convergence criterion by registry name."""
+    try:
+        factory = CRITERIA[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown criterion {name!r}; available: {', '.join(sorted(CRITERIA))}"
+        ) from None
+    return factory(**params)
+
+
+# --------------------------------------------------------------------------- #
+# schedulers
+# --------------------------------------------------------------------------- #
+
+#: ``builder(num_agents, seed, protocol, **params) -> Scheduler``.
+SchedulerBuilder = Callable[..., Scheduler]
+
+SCHEDULERS: dict[str, SchedulerBuilder] = {
+    UniformRandomScheduler.name: lambda n, seed, protocol, **params: UniformRandomScheduler(
+        n, seed=seed, **params
+    ),
+    RoundRobinScheduler.name: lambda n, seed, protocol, **params: RoundRobinScheduler(
+        n, seed=seed, **params
+    ),
+    RandomPermutationScheduler.name: lambda n, seed, protocol, **params: RandomPermutationScheduler(
+        n, seed=seed, **params
+    ),
+    GreedyStallScheduler.name: lambda n, seed, protocol, **params: GreedyStallScheduler(
+        n,
+        transition_changes=lambda a, b: protocol.transition(a, b).changed,
+        seed=seed,
+        **params,
+    ),
+    IsolationScheduler.name: lambda n, seed, protocol, **params: IsolationScheduler(
+        n, seed=seed, **params
+    ),
+}
+
+
+def build_scheduler(
+    name: str,
+    num_agents: int,
+    seed: int | None = None,
+    protocol: PopulationProtocol | None = None,
+    **params: object,
+) -> Scheduler:
+    """Instantiate a scheduler by registry name.
+
+    The adaptive adversaries close over ``protocol`` (e.g. greedy-stall needs
+    the transition function), so callers pass the protocol instance the run
+    will use.
+    """
+    try:
+        builder = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {', '.join(sorted(SCHEDULERS))}"
+        ) from None
+    return builder(num_agents, seed, protocol, **params)
+
+
+# --------------------------------------------------------------------------- #
+# runners
+# --------------------------------------------------------------------------- #
+
+#: ``runner(spec) -> RunRecord``; must be a pure function of the spec.
+RunnerFn = Callable[[RunSpec], RunRecord]
+
+_RUNNERS: dict[str, RunnerFn] = {}
+
+
+def register_runner(name: str, runner: RunnerFn, *, overwrite: bool = False) -> None:
+    """Register a named run strategy usable as ``RunSpec.runner``."""
+    if not overwrite and name in _RUNNERS:
+        raise ValueError(f"runner name {name!r} is already registered")
+    _RUNNERS[name] = runner
+
+
+def get_runner(name: str) -> RunnerFn:
+    """Resolve a runner name; imports the experiment package once as a
+    fallback so specs naming experiment-registered runners (e.g.
+    ``"e2-stabilization"``) work from a cold process."""
+    if name not in _RUNNERS:
+        import repro.experiments  # noqa: F401  (registers experiment runners)
+    try:
+        return _RUNNERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown runner {name!r}; available: {', '.join(sorted(_RUNNERS))}"
+        ) from None
+
+
+def resolve_workload(spec: RunSpec) -> list[int]:
+    """Generate the input colors a spec describes."""
+    return DEFAULT_WORKLOADS.generate(
+        spec.workload,
+        spec.n,
+        spec.k,
+        seed=spec.effective_workload_seed,
+        **dict(spec.workload_params),
+    )
+
+
+def _protocol_runner(spec: RunSpec) -> RunRecord:
+    """The default strategy: registry protocol + ``run_protocol``/``run_circles``."""
+    colors = resolve_workload(spec)
+    protocol = get_protocol(spec.protocol, spec.k, **dict(spec.protocol_params))
+    scheduler = None
+    if spec.scheduler is not None:
+        scheduler_seed = None if spec.seed is None else derive_seed(spec.seed, "scheduler")
+        scheduler = build_scheduler(
+            spec.scheduler,
+            spec.n,
+            seed=scheduler_seed,
+            protocol=protocol,
+            **dict(spec.scheduler_params),
+        )
+    if spec.protocol == "circles" and spec.criterion is None:
+        result = run_circles(
+            colors,
+            num_colors=spec.k,
+            scheduler=scheduler,
+            max_steps=spec.max_steps,
+            seed=spec.seed,
+            engine=spec.engine,
+            **{key: value for key, value in spec.protocol_params.items() if key == "variant"},
+        )
+    else:
+        criterion = build_criterion(spec.criterion) if spec.criterion is not None else None
+        result = run_protocol(
+            protocol,
+            colors,
+            scheduler=scheduler,
+            criterion=criterion,
+            max_steps=spec.max_steps,
+            seed=spec.seed,
+            engine=spec.engine,
+        )
+    return RunRecord.from_result(spec, result)
+
+
+register_runner("protocol", _protocol_runner)
+
+
+def execute_run(spec: RunSpec) -> RunRecord:
+    """Execute one spec and return its record.
+
+    A pure function of the spec (all randomness flows from the spec's seeds),
+    so it can run in any process in any order.
+    """
+    return get_runner(spec.runner)(spec)
+
+
+# --------------------------------------------------------------------------- #
+# executors
+# --------------------------------------------------------------------------- #
+
+
+class SerialExecutor:
+    """Run every spec in the calling process, in order."""
+
+    def map(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
+        return [execute_run(spec) for spec in specs]
+
+
+class MultiprocessingExecutor:
+    """Fan specs out over a ``multiprocessing`` pool.
+
+    Records come back in spec order (``Pool.map`` preserves ordering), and
+    because :func:`execute_run` derives all randomness from the spec, the
+    result is record-for-record identical to :class:`SerialExecutor`.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+
+    def map(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
+        if self.workers == 1 or len(specs) <= 1:
+            return SerialExecutor().map(specs)
+        context = multiprocessing.get_context()
+        with context.Pool(processes=min(self.workers, len(specs))) as pool:
+            return pool.map(execute_run, specs)
+
+
+class SweepRunner:
+    """Execute a :class:`SweepSpec` through a pluggable executor.
+
+    ``workers=None`` (or 1) runs serially; ``workers=N`` uses a
+    ``multiprocessing`` pool of N processes.  Pass ``executor=`` to supply
+    any object with a ``map(specs) -> list[RunRecord]`` method instead.
+    """
+
+    def __init__(self, workers: int | None = None, executor=None) -> None:
+        if executor is not None:
+            self.executor = executor
+        elif workers is not None and workers > 1:
+            self.executor = MultiprocessingExecutor(workers)
+        else:
+            self.executor = SerialExecutor()
+
+    def run(self, sweep: SweepSpec) -> SweepResult:
+        """Expand the sweep and execute every run."""
+        return SweepResult(spec=sweep, records=self.executor.map(sweep.expand()))
+
+
+def run_sweep(sweep: SweepSpec, workers: int | None = None) -> SweepResult:
+    """Execute a sweep; ``workers`` defaults to the spec's own ``workers`` field."""
+    effective = workers if workers is not None else sweep.workers
+    return SweepRunner(workers=effective).run(sweep)

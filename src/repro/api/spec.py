@@ -1,0 +1,262 @@
+"""Declarative run and sweep descriptions.
+
+A :class:`RunSpec` names one simulation run with plain data only — protocol
+by registry name, workload by registry name, engine, scheduler and criterion
+by name, integer seeds — so a run can be stored in JSON, shipped to a worker
+process, and re-executed in isolation.  A :class:`SweepSpec` expands grids
+over those axes (protocols × workloads × populations × color counts ×
+engines × schedulers × trials) into a deterministic list of ``RunSpec``s.
+
+Seed discipline
+---------------
+
+A sweep has one root ``seed``.  Expansion derives
+
+* one **run seed** per expanded run (hash of the root seed and the run's
+  position in the grid) — it drives the engine and, for the agent engine,
+  the scheduler; and
+* one **workload seed** per (k, n, workload) sweep point, shared by every
+  protocol, engine, scheduler and trial at that point — so competing
+  protocols are compared on *identical* inputs, and a single ``RunSpec``
+  regenerates its exact input colors without the rest of the sweep.
+
+Both are plain integers stored on the expanded ``RunSpec``, so any single
+record from a sweep is reproducible from its spec alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any
+
+def derive_seed(root_seed: int, tag: str) -> int:
+    """Derive a child seed deterministically from a root seed and a label.
+
+    Uses SHA-256 (not Python's salted ``hash``) so the derivation is stable
+    across processes, platforms and interpreter restarts — the property that
+    makes persisted specs re-runnable.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{tag}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _normalize_axis(
+    entries: Sequence[object], *, allow_none: bool = False
+) -> tuple[tuple[str | None, dict[str, Any]], ...]:
+    """Normalize axis entries to ``(name, params)`` pairs.
+
+    Accepts bare names, ``(name, params)`` tuples/lists (the JSON spelling)
+    and — on the scheduler axis — ``None`` for "engine default".
+    """
+    normalized: list[tuple[str | None, dict[str, Any]]] = []
+    for entry in entries:
+        if entry is None:
+            if not allow_none:
+                raise ValueError("None is only a valid entry on the scheduler axis")
+            normalized.append((None, {}))
+        elif isinstance(entry, str):
+            normalized.append((entry, {}))
+        else:
+            name, params = entry
+            normalized.append((name, dict(params)))
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One run, described declaratively.
+
+    Every field is plain data: names resolve through the protocol, workload,
+    engine, scheduler and criterion registries at execution time (see
+    :mod:`repro.api.executor`), never at construction time, so specs can be
+    built, persisted and shipped without importing any simulation code.
+    """
+
+    protocol: str
+    n: int
+    k: int
+    workload: str = "planted-majority"
+    protocol_params: Mapping[str, Any] = field(default_factory=dict)
+    workload_params: Mapping[str, Any] = field(default_factory=dict)
+    engine: str = "agent"
+    scheduler: str | None = None
+    scheduler_params: Mapping[str, Any] = field(default_factory=dict)
+    criterion: str | None = None
+    max_steps: int | None = None
+    #: Named run strategy (see ``repro.api.executor.register_runner``); the
+    #: default resolves the protocol registry and calls ``run_protocol`` /
+    #: ``run_circles``.
+    runner: str = "protocol"
+    #: Seed for the engine (and the scheduler, on the agent engine).
+    seed: int | None = None
+    #: Seed for the input workload; defaults to ``seed`` when unset.
+    workload_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "protocol_params", dict(self.protocol_params))
+        object.__setattr__(self, "workload_params", dict(self.workload_params))
+        object.__setattr__(self, "scheduler_params", dict(self.scheduler_params))
+        if self.n < 2:
+            raise ValueError(f"a population needs at least two agents, got n={self.n}")
+        if self.k < 1:
+            raise ValueError(f"need at least one color, got k={self.k}")
+
+    @property
+    def effective_workload_seed(self) -> int | None:
+        """The seed the workload generator actually receives."""
+        return self.workload_seed if self.workload_seed is not None else self.seed
+
+    def with_seed(self, seed: int) -> RunSpec:
+        """A copy of this spec with a different run seed."""
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> RunSpec:
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written JSON)."""
+        return cls(**dict(data))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> RunSpec:
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of runs over the experiment axes.
+
+    :meth:`expand` takes the cross product of ``ks`` × ``populations`` ×
+    ``workloads`` × ``engines`` × ``schedulers`` × ``protocols`` × ``trials``
+    (nested in that order, so tables grouped per protocol vary fastest) and
+    derives per-run and per-point seeds from the root ``seed`` — see the
+    module docstring for the seed discipline.
+    """
+
+    protocols: Sequence[object]
+    populations: Sequence[int]
+    ks: Sequence[int]
+    workloads: Sequence[object] = ("planted-majority",)
+    engines: Sequence[str] = ("agent",)
+    schedulers: Sequence[object] = (None,)
+    criterion: str | None = None
+    #: Absolute interaction budget per run; ``None`` defers to
+    #: ``max_steps_quadratic`` and then to the runner default.
+    max_steps: int | None = None
+    #: Quadratic budget coefficient ``c``: each run gets ``c · n²`` steps.
+    max_steps_quadratic: int | None = None
+    trials: int = 1
+    seed: int = 0
+    runner: str = "protocol"
+    #: Default worker-process count for executors (``None``/1 = serial).
+    workers: int | None = None
+    #: Optional human-readable label carried into results.
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "protocols", _normalize_axis(self.protocols))
+        object.__setattr__(self, "workloads", _normalize_axis(self.workloads))
+        object.__setattr__(self, "schedulers", _normalize_axis(self.schedulers, allow_none=True))
+        object.__setattr__(self, "populations", tuple(self.populations))
+        object.__setattr__(self, "ks", tuple(self.ks))
+        object.__setattr__(self, "engines", tuple(self.engines))
+        if not self.protocols:
+            raise ValueError("a sweep needs at least one protocol")
+        if not self.populations:
+            raise ValueError("a sweep needs at least one population size")
+        if not self.ks:
+            raise ValueError("a sweep needs at least one color count")
+        if self.trials < 1:
+            raise ValueError("trials must be at least 1")
+
+    def _budget(self, n: int) -> int | None:
+        if self.max_steps is not None:
+            return self.max_steps
+        if self.max_steps_quadratic is not None:
+            return self.max_steps_quadratic * n * n
+        return None
+
+    def expand(self) -> list[RunSpec]:
+        """The deterministic list of runs this sweep describes."""
+        runs: list[RunSpec] = []
+        index = 0
+        for k in self.ks:
+            for n in self.populations:
+                for workload_name, workload_params in self.workloads:
+                    point_seed = derive_seed(
+                        self.seed, f"workload:{k}:{n}:{workload_name}:{sorted(workload_params.items())}"
+                    )
+                    for engine in self.engines:
+                        for scheduler_name, scheduler_params in self.schedulers:
+                            for protocol_name, protocol_params in self.protocols:
+                                for _trial in range(self.trials):
+                                    runs.append(
+                                        RunSpec(
+                                            protocol=protocol_name,
+                                            n=n,
+                                            k=k,
+                                            workload=workload_name,
+                                            protocol_params=protocol_params,
+                                            workload_params=workload_params,
+                                            engine=engine,
+                                            scheduler=scheduler_name,
+                                            scheduler_params=scheduler_params,
+                                            criterion=self.criterion,
+                                            max_steps=self._budget(n),
+                                            runner=self.runner,
+                                            seed=derive_seed(self.seed, f"run:{index}"),
+                                            workload_seed=point_seed,
+                                        )
+                                    )
+                                    index += 1
+        return runs
+
+    def __len__(self) -> int:
+        return (
+            len(self.ks)
+            * len(self.populations)
+            * len(self.workloads)
+            * len(self.engines)
+            * len(self.schedulers)
+            * len(self.protocols)
+            * self.trials
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "protocols": [[name, params] for name, params in self.protocols],
+            "populations": list(self.populations),
+            "ks": list(self.ks),
+            "workloads": [[name, params] for name, params in self.workloads],
+            "engines": list(self.engines),
+            "schedulers": [[name, params] for name, params in self.schedulers],
+            "criterion": self.criterion,
+            "max_steps": self.max_steps,
+            "max_steps_quadratic": self.max_steps_quadratic,
+            "trials": self.trials,
+            "seed": self.seed,
+            "runner": self.runner,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> SweepSpec:
+        """Rebuild a sweep from :meth:`to_dict` output (or hand-written JSON)."""
+        return cls(**dict(data))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> SweepSpec:
+        return cls.from_dict(json.loads(text))

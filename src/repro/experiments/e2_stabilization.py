@@ -6,13 +6,25 @@ The experiment runs Circles across a sweep of ``n`` and ``k`` and reports the
 measured number of ket exchanges, the number of interactions until the
 Circles stability criterion holds, and whether the ordinal potential was
 strictly decreasing at every observed exchange (it must always be).
+
+The sweep is described declaratively: :func:`run` builds a
+:class:`~repro.api.spec.SweepSpec` over (n, k) and executes it through the
+custom ``"e2-stabilization"`` runner registered below — the per-exchange
+potential instrumentation does not fit the plain ``run_circles`` path, so it
+is packaged as a named run strategy instead (see
+:func:`repro.api.executor.register_runner`), keeping E2 runs persistable and
+parallelizable like any other spec.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
+from repro.api.executor import register_runner, resolve_workload, run_sweep
+from repro.api.records import RunRecord
+from repro.api.spec import RunSpec, SweepSpec, derive_seed
 from repro.core.circles import CirclesProtocol
+from repro.core.greedy_sets import has_unique_majority, predicted_majority
 from repro.core.potential import ordinal_potential
 from repro.experiments.harness import ExperimentResult
 from repro.scheduling.random_uniform import UniformRandomScheduler
@@ -26,16 +38,16 @@ from repro.utils.rng import make_rng
 from repro.workloads.distributions import planted_majority
 
 
-def measure_stabilization(
-    num_agents: int,
+def _measure_on_colors(
+    colors: Sequence[int],
     num_colors: int,
-    seed: int,
-    max_steps: int | None = None,
-    engine: str = "agent",
+    engine_seed: int,
+    budget: int,
+    engine: str,
 ) -> dict[str, object]:
-    """Run one Circles execution and measure exchange/stabilization statistics.
+    """The instrumented Circles run behind both entry points.
 
-    With the default ``"agent"`` engine the ordinal potential is checked after
+    With the ``"agent"`` engine the ordinal potential is checked after
     *every* observed ket exchange — the per-exchange strictness that
     Theorem 3.4's proof states.  The configuration-level engines
     (``"configuration"``, ``"batch"``) apply interactions in bulk, so for them
@@ -44,12 +56,11 @@ def measure_stabilization(
     of strictly decreasing steps), which is the same monotonicity statement at
     coarser granularity and scales the measurement to much larger ``n``.
     """
-    rng = make_rng(seed)
-    colors = planted_majority(num_agents, num_colors, seed=rng.getrandbits(32))
+    num_agents = len(colors)
     protocol = CirclesProtocol(num_colors)
     criterion = StableCircles()
-    budget = max_steps if max_steps is not None else 80 * num_agents * num_agents
     check_interval = default_check_interval(num_agents)
+    rng = make_rng(engine_seed)
 
     exchanges = 0
     potential_always_decreased = True
@@ -100,13 +111,101 @@ def measure_stabilization(
             if criterion.is_converged_configuration(protocol, simulation.configuration()):
                 steps_to_stable = simulation.steps_taken
                 break
+
+    majority = predicted_majority(colors) if has_unique_majority(colors) else None
+    outputs = simulation.outputs()
     return {
         "n": num_agents,
         "k": num_colors,
         "ket_exchanges": exchanges,
         "steps_to_stable": steps_to_stable,
         "potential_strictly_decreased": potential_always_decreased,
+        "interactions_changed": simulation.interactions_changed,
+        "steps_taken": simulation.steps_taken,
+        "majority": majority,
+        "correct": majority is not None and all(output == majority for output in outputs),
+        "unanimous": len(set(outputs)) == 1,
     }
+
+
+def measure_stabilization(
+    num_agents: int,
+    num_colors: int,
+    seed: int,
+    max_steps: int | None = None,
+    engine: str = "agent",
+) -> dict[str, object]:
+    """Run one Circles execution and measure exchange/stabilization statistics.
+
+    Standalone entry point (the spec-driven sweep goes through
+    :func:`_stabilization_runner` instead): derives the workload and the
+    engine seed from one master seed, as the pre-sweep-API harness did.
+    """
+    rng = make_rng(seed)
+    colors = planted_majority(num_agents, num_colors, seed=rng.getrandbits(32))
+    budget = max_steps if max_steps is not None else 80 * num_agents * num_agents
+    stats = _measure_on_colors(
+        colors, num_colors, engine_seed=rng.getrandbits(32), budget=budget, engine=engine
+    )
+    return {key: stats[key] for key in
+            ("n", "k", "ket_exchanges", "steps_to_stable", "potential_strictly_decreased")}
+
+
+def _stabilization_runner(spec: RunSpec) -> RunRecord:
+    """Named run strategy: spec -> instrumented Circles run -> record."""
+    colors = resolve_workload(spec)
+    budget = spec.max_steps if spec.max_steps is not None else 80 * spec.n * spec.n
+    engine_seed = spec.seed if spec.seed is not None else 0
+    stats = _measure_on_colors(
+        colors, spec.k, engine_seed=engine_seed, budget=budget, engine=spec.engine
+    )
+    steps_to_stable = stats["steps_to_stable"]
+    return RunRecord(
+        spec=spec,
+        seed=spec.seed,
+        protocol_name="circles",
+        num_agents=spec.n,
+        num_colors=spec.k,
+        engine=spec.engine,
+        scheduler_name="uniform-random",
+        converged=steps_to_stable is not None,
+        correct=bool(stats["correct"]),
+        steps=int(stats["steps_taken"]),
+        interactions_changed=int(stats["interactions_changed"]),
+        majority=stats["majority"],
+        unanimous=bool(stats["unanimous"]),
+        ket_exchanges=int(stats["ket_exchanges"]),
+        extras={
+            "steps_to_stable": steps_to_stable,
+            "potential_strictly_decreased": bool(stats["potential_strictly_decreased"]),
+        },
+    )
+
+
+register_runner("e2-stabilization", _stabilization_runner)
+
+
+def sweep_spec(
+    populations: Iterable[int] = (10, 20, 40, 80),
+    ks: Iterable[int] = (3, 5, 8),
+    seed: int = 7,
+    engine: str = "agent",
+    workers: int | None = None,
+) -> SweepSpec:
+    """The declarative description of the E2 sweep."""
+    return SweepSpec(
+        name="e2-stabilization",
+        protocols=("circles",),
+        populations=tuple(populations),
+        ks=tuple(ks),
+        workloads=("planted-majority",),
+        engines=(engine,),
+        runner="e2-stabilization",
+        max_steps_quadratic=80,
+        trials=1,
+        seed=derive_seed(seed, "e2"),
+        workers=workers,
+    )
 
 
 def run(
@@ -114,28 +213,29 @@ def run(
     ks: Iterable[int] = (3, 5, 8),
     seed: int = 7,
     engine: str = "agent",
+    workers: int | None = None,
 ) -> ExperimentResult:
-    """Build the E2 stabilization table.
+    """Build the E2 stabilization table from the declarative sweep.
 
     ``engine`` selects the simulation engine for every sweep point (see
-    :func:`measure_stabilization` for how the potential check coarsens under
-    the configuration-level engines).
+    :func:`_measure_on_colors` for how the potential check coarsens under the
+    configuration-level engines); ``workers`` fans the sweep out over a
+    process pool.
     """
     result = ExperimentResult(
         experiment_id="E2",
         title="Stabilization: ket exchanges are finite, g(C) strictly decreases (Theorem 3.4)",
         headers=("n", "k", "ket exchanges", "interactions to stability", "g(C) strictly decreasing"),
     )
-    for k in ks:
-        for n in populations:
-            stats = measure_stabilization(n, k, seed=seed + 31 * n + k, engine=engine)
-            result.add_row(
-                stats["n"],
-                stats["k"],
-                stats["ket_exchanges"],
-                stats["steps_to_stable"],
-                stats["potential_strictly_decreased"],
-            )
+    sweep_result = run_sweep(sweep_spec(populations, ks, seed=seed, engine=engine), workers=workers)
+    for record in sweep_result.records:
+        result.add_row(
+            record.num_agents,
+            record.num_colors,
+            record.ket_exchanges,
+            record.extras["steps_to_stable"],
+            record.extras["potential_strictly_decreased"],
+        )
     result.add_note(
         "The number of ket exchanges is always finite and small compared to the interaction "
         "budget; the ordinal potential decreased strictly at every observed exchange, matching "

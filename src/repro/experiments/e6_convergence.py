@@ -17,36 +17,74 @@ fewest interactions but lose correctness on adversarial inputs; Circles pays
 a polynomial interaction overhead for always-correctness with a small state
 footprint; the tournament comparator is always correct but needs orders of
 magnitude more states (see E1).
+
+The sweep itself is declarative: :func:`sweep_specs` builds one
+:class:`~repro.api.spec.SweepSpec` per color count (the protocol and
+workload axes depend on ``k``) and :func:`run` executes them and renders the
+table from the aggregated records.  Every trial of every protocol at a sweep
+point runs on *identical* input colors (the sweep API derives one workload
+seed per (k, n, workload) point), which is what makes the correctness-rate
+columns a paired comparison.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.core.circles import CirclesProtocol
+from repro.api.executor import run_sweep
+from repro.api.spec import SweepSpec, derive_seed
+from repro.protocols.registry import get_protocol
 from repro.experiments.harness import ExperimentResult
-from repro.protocols.approximate_majority import ApproximateMajorityProtocol
-from repro.protocols.base import PopulationProtocol
-from repro.protocols.cancellation_plurality import CancellationPluralityProtocol
-from repro.protocols.exact_majority import ExactMajorityProtocol
-from repro.protocols.tournament_plurality import TournamentPluralityProtocol
-from repro.scheduling.random_uniform import UniformRandomScheduler
-from repro.simulation.convergence import OutputConsensus
-from repro.simulation.runner import run_circles, run_protocol
-from repro.utils.rng import make_rng
-from repro.workloads.distributions import adversarial_two_block, near_tie, planted_majority
 
 
-def _protocols_for(k: int) -> list[PopulationProtocol]:
-    protocols: list[PopulationProtocol] = [
-        CirclesProtocol(k),
-        CancellationPluralityProtocol(k),
-        TournamentPluralityProtocol(k),
-    ]
+def _protocol_names_for(k: int) -> tuple[str, ...]:
+    names = ("circles", "cancellation-plurality", "tournament-plurality")
     if k == 2:
-        protocols.append(ExactMajorityProtocol(2))
-        protocols.append(ApproximateMajorityProtocol(2))
-    return protocols
+        names += ("exact-majority", "approximate-majority")
+    return names
+
+
+def _workload_names_for(k: int, adversarial: bool) -> tuple[str, ...]:
+    workloads = ("planted-majority",)
+    if adversarial and k >= 3:
+        workloads += ("adversarial-two-block", "near-tie")
+    return workloads
+
+
+def sweep_specs(
+    populations: Iterable[int] = (16, 32, 64),
+    ks: Iterable[int] = (2, 4),
+    trials: int = 4,
+    seed: int = 59,
+    adversarial: bool = True,
+    engine: str = "batch",
+    workers: int | None = None,
+) -> list[SweepSpec]:
+    """The declarative description of the E6 comparison, one sweep per ``k``.
+
+    The protocol roster and the workload list depend on the color count, so
+    each ``k`` gets its own grid; everything else (populations, trials, the
+    quadratic interaction budget) is shared.  The agent engine does not
+    simulate a scheduler implicitly, so it gets the uniform random scheduler
+    by name — the same chain the configuration-level engines sample exactly.
+    """
+    schedulers = ("uniform-random",) if engine == "agent" else (None,)
+    return [
+        SweepSpec(
+            name=f"e6-convergence-k{k}",
+            protocols=_protocol_names_for(k),
+            populations=tuple(populations),
+            ks=(k,),
+            workloads=_workload_names_for(k, adversarial),
+            engines=(engine,),
+            schedulers=schedulers,
+            trials=trials,
+            seed=derive_seed(seed, f"e6:k={k}"),
+            max_steps_quadratic=200,
+            workers=workers,
+        )
+        for k in ks
+    ]
 
 
 def run(
@@ -56,6 +94,7 @@ def run(
     seed: int = 59,
     adversarial: bool = True,
     engine: str = "batch",
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Build the E6 convergence/correctness comparison table.
 
@@ -66,6 +105,7 @@ def run(
             draws for the agent engine — so the measured distributions agree;
             the default is the batched fast path, which is what makes the
             large-``n`` convergence sweeps tractable.
+        workers: optional process-pool size for the underlying sweeps.
     """
     result = ExperimentResult(
         experiment_id="E6",
@@ -80,56 +120,21 @@ def run(
             "correct runs",
         ),
     )
-    rng = make_rng(seed)
-    for k in ks:
-        for n in populations:
-            workloads = [("planted-majority", planted_majority(n, k, seed=rng.getrandbits(32)))]
-            if adversarial and k >= 3:
-                workloads.append(
-                    ("adversarial-two-block", adversarial_two_block(n, k, seed=rng.getrandbits(32)))
-                )
-                workloads.append(("near-tie", near_tie(n, k, seed=rng.getrandbits(32))))
-            for workload_name, colors in workloads:
-                for protocol in _protocols_for(k):
-                    steps: list[int] = []
-                    correct = 0
-                    for _ in range(trials):
-                        trial_seed = rng.getrandbits(32)
-                        scheduler = (
-                            UniformRandomScheduler(n, seed=trial_seed)
-                            if engine == "agent"
-                            else None
-                        )
-                        if isinstance(protocol, CirclesProtocol):
-                            outcome = run_circles(
-                                colors,
-                                num_colors=k,
-                                scheduler=scheduler,
-                                seed=trial_seed,
-                                max_steps=200 * n * n,
-                                engine=engine,
-                            )
-                        else:
-                            outcome = run_protocol(
-                                protocol,
-                                colors,
-                                scheduler=scheduler,
-                                seed=trial_seed,
-                                criterion=OutputConsensus(),
-                                max_steps=200 * n * n,
-                                engine=engine,
-                            )
-                        steps.append(outcome.steps)
-                        correct += outcome.correct
-                    result.add_row(
-                        protocol.name,
-                        workload_name,
-                        n,
-                        k,
-                        protocol.state_count(),
-                        sum(steps) / len(steps),
-                        f"{correct}/{trials}",
-                    )
+    for sweep in sweep_specs(populations, ks, trials, seed, adversarial, engine):
+        sweep_result = run_sweep(sweep, workers=workers)
+        rows = sweep_result.aggregate(
+            value="steps", by=("protocol", "workload", "n", "k"), stats=("mean",)
+        )
+        for row in rows:
+            result.add_row(
+                row["protocol"],
+                row["workload"],
+                row["n"],
+                row["k"],
+                get_protocol(row["protocol"], row["k"]).state_count(),
+                row["mean_steps"],
+                f"{row['correct']}/{row['trials']}",
+            )
     heuristic_failures = sum(
         1
         for row in result.rows

@@ -9,44 +9,48 @@ make the problem unsolvable.  The experiment runs Circles under
 * **unfair** schedulers that isolate part of the population — correctness is
   expected to fail whenever the isolated agents hold decisive votes.
 
-The isolated workload is constructed so that the isolated agents flip the
-majority: the visible sub-population has a different plurality than the whole
-population, so any protocol must answer incorrectly under the unfair schedule.
+The isolated workload is the registered ``"decisive-isolation"`` generator
+(:func:`repro.workloads.distributions.decisive_isolation`): the isolated
+agents flip the majority — the visible sub-population has a different
+plurality than the whole population, so any protocol must answer incorrectly
+under the unfair schedule.
+
+Each scheduler row is one declarative sweep: :func:`sweep_specs` builds a
+:class:`~repro.api.spec.SweepSpec` per scheduler (schedulers are an expansion
+axis, with their parameters as plain data), and :func:`run` renders the table
+from the executed records.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
+from repro.api.executor import build_scheduler, run_sweep
+from repro.api.spec import SweepSpec, derive_seed
 from repro.core.circles import CirclesProtocol
 from repro.experiments.harness import ExperimentResult
-from repro.scheduling.adversarial import GreedyStallScheduler, IsolationScheduler
-from repro.scheduling.random_uniform import UniformRandomScheduler
-from repro.scheduling.round_robin import RoundRobinScheduler
-from repro.simulation.runner import run_circles
-from repro.utils.rng import make_rng
+from repro.workloads.distributions import decisive_isolation_set
+
+#: The scheduler roster of the comparison, in table order.
+SCHEDULER_NAMES = ("uniform-random", "round-robin", "greedy-stall", "isolation")
 
 
-def _decisive_isolation_input(num_agents: int) -> tuple[list[int], list[int]]:
-    """An input and an isolation set such that isolation flips the visible majority.
-
-    Color 0 is the true majority, but most of its supporters are isolated, so
-    the interacting sub-population sees color 1 as its plurality.
-    """
-    if num_agents < 7:
-        raise ValueError("need at least 7 agents for a decisive isolation scenario")
-    majority_count = num_agents // 2 + 1
-    minority_count = num_agents - majority_count
-    colors = [0] * majority_count + [1] * minority_count
-    # Isolate enough color-0 agents (they occupy the low indices) that the
-    # interacting sub-population has more color-1 than color-0 supporters.
-    to_isolate = (majority_count - minority_count) + 1
-    isolated = list(range(to_isolate))
-    return colors, isolated
+def _scheduler_params(name: str, num_agents: int) -> dict[str, object]:
+    if name == "round-robin":
+        return {"shuffle_once": True}
+    if name == "isolation":
+        return {"isolated": decisive_isolation_set(num_agents)}
+    return {}
 
 
-def run(
-    num_agents: int = 15, trials: int = 4, seed: int = 97, engine: str = "agent"
-) -> ExperimentResult:
-    """Build the E8 scheduler-sensitivity table.
+def sweep_specs(
+    num_agents: int = 15,
+    trials: int = 4,
+    seed: int = 97,
+    engine: str = "agent",
+    schedulers: Iterable[str] = SCHEDULER_NAMES,
+) -> list[SweepSpec]:
+    """One sweep per scheduler row.
 
     ``engine`` applies only to the ``uniform-random`` row: the
     configuration-level engines simulate exactly that scheduler, so
@@ -55,52 +59,43 @@ def run(
     whole point of the experiment is scheduler control), so they always use
     the agent engine.
     """
+    specs = []
+    for name in schedulers:
+        on_fast_path = name == "uniform-random" and engine != "agent"
+        specs.append(
+            SweepSpec(
+                name=f"e8-{name}",
+                protocols=("circles",),
+                populations=(num_agents,),
+                ks=(2,),
+                workloads=("decisive-isolation",),
+                engines=(engine if on_fast_path else "agent",),
+                schedulers=(None,) if on_fast_path else ((name, _scheduler_params(name, num_agents)),),
+                trials=trials,
+                seed=derive_seed(seed, f"e8:{name}"),
+                max_steps_quadratic=150,
+            )
+        )
+    return specs
+
+
+def run(
+    num_agents: int = 15, trials: int = 4, seed: int = 97, engine: str = "agent"
+) -> ExperimentResult:
+    """Build the E8 scheduler-sensitivity table from the declarative sweeps."""
     result = ExperimentResult(
         experiment_id="E8",
         title="Scheduler sensitivity: weakly fair vs. unfair schedules (Definition 1.2)",
         headers=("scheduler", "weakly fair", "trials", "correct runs"),
     )
-    rng = make_rng(seed)
-    colors, isolated = _decisive_isolation_input(num_agents)
-    k = 2
-
-    def build(name: str):
-        protocol = CirclesProtocol(k)
-        if name == "uniform-random":
-            return UniformRandomScheduler(num_agents, seed=rng.getrandbits(32))
-        if name == "round-robin":
-            return RoundRobinScheduler(num_agents, seed=rng.getrandbits(32), shuffle_once=True)
-        if name == "greedy-stall":
-            return GreedyStallScheduler(
-                num_agents,
-                transition_changes=lambda a, b: protocol.transition(a, b).changed,
-                seed=rng.getrandbits(32),
-            )
-        if name == "isolation":
-            return IsolationScheduler(num_agents, isolated, seed=rng.getrandbits(32))
-        raise ValueError(name)
-
-    for name in ("uniform-random", "round-robin", "greedy-stall", "isolation"):
-        correct = 0
-        for _ in range(trials):
-            if name == "uniform-random" and engine != "agent":
-                outcome = run_circles(
-                    colors,
-                    num_colors=k,
-                    seed=rng.getrandbits(32),
-                    max_steps=150 * num_agents * num_agents,
-                    engine=engine,
-                )
-            else:
-                scheduler = build(name)
-                outcome = run_circles(
-                    colors,
-                    num_colors=k,
-                    scheduler=scheduler,
-                    max_steps=150 * num_agents * num_agents,
-                )
-            correct += outcome.correct
-        result.add_row(name, build(name).is_weakly_fair, trials, f"{correct}/{trials}")
+    protocol = CirclesProtocol(2)
+    for name, sweep in zip(SCHEDULER_NAMES, sweep_specs(num_agents, trials, seed, engine)):
+        records = run_sweep(sweep).records
+        correct = sum(record.correct for record in records)
+        weakly_fair = build_scheduler(
+            name, num_agents, protocol=protocol, **_scheduler_params(name, num_agents)
+        ).is_weakly_fair
+        result.add_row(name, weakly_fair, trials, f"{correct}/{trials}")
     result.add_note(
         "Under every weakly fair scheduler all runs are correct; under the isolation "
         "scheduler the interacting sub-population sees a different plurality, so the runs "

@@ -2,8 +2,10 @@
 
 Usage::
 
-    python -m repro.experiments.report            # print to stdout
-    python -m repro.experiments.report out.md     # write to a file
+    python -m repro.experiments.report                 # print to stdout
+    python -m repro.experiments.report -o out.md       # write to a file
+    python -m repro.experiments.report E2 E6           # a subset of experiments
+    python -m repro.experiments.report out.md          # legacy: positional .md path
 
 The report runs every registered experiment with its default (laptop-scale)
 parameters and renders each result section in the same format EXPERIMENTS.md
@@ -13,7 +15,7 @@ command.
 
 from __future__ import annotations
 
-import sys
+import argparse
 from collections.abc import Iterable
 
 from repro.experiments.harness import ExperimentResult, experiment_catalog, get_experiment
@@ -31,15 +33,31 @@ def generate_report(experiment_ids: Iterable[str] | None = None) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point: optional output path, optional experiment ids."""
-    args = list(sys.argv[1:] if argv is None else argv)
-    output_path = None
-    ids = None
-    if args and args[0].endswith(".md"):
-        output_path = args.pop(0)
-    if args:
-        ids = args
-    report = generate_report(ids)
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.report",
+        description="Run registered experiments and render a Markdown report.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment identifiers (e.g. E2 E6); all registered experiments by default",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    ids = list(args.ids)
+    output_path = args.output
+    # Legacy spelling kept working: a leading positional "out.md" is the output.
+    if output_path is None and ids and ids[0].endswith(".md"):
+        output_path = ids.pop(0)
+    report = generate_report(ids or None)
     if output_path:
         with open(output_path, "w", encoding="utf-8") as handle:
             handle.write(report)

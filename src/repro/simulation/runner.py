@@ -105,6 +105,11 @@ class RunResult:
     ket_exchanges: int | None = None
     initial_energy: int | None = None
     final_energy: int | None = None
+    #: Registry name of the engine that produced the result.
+    engine: str | None = None
+    #: The integer seed the run was started with (``None`` for unseeded runs
+    #: or runs seeded with a live ``random.Random`` instance).
+    seed: int | None = None
     trace: Trace | None = field(default=None, repr=False)
 
     @property
@@ -119,6 +124,8 @@ class RunResult:
             "n": self.num_agents,
             "k": self.num_colors,
             "scheduler": self.scheduler_name,
+            "engine": self.engine,
+            "seed": self.seed,
             "converged": self.converged,
             "correct": self.correct,
             "steps": self.steps,
@@ -241,6 +248,8 @@ def run_protocol(
         majority=majority,
         correct=correct,
         final_states=tuple(simulation.states()),
+        engine=engine,
+        seed=seed if isinstance(seed, int) else None,
         trace=trace,
     )
 
@@ -321,5 +330,7 @@ def run_circles(
         ket_exchanges=ket_exchanges,
         initial_energy=initial_energy,
         final_energy=configuration_energy(final_states, k),
+        engine=engine,
+        seed=seed if isinstance(seed, int) else None,
         trace=trace,
     )

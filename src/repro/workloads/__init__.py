@@ -10,6 +10,8 @@ are reproducible.
 
 from repro.workloads.distributions import (
     adversarial_two_block,
+    decisive_isolation,
+    decisive_isolation_set,
     exact_tie,
     near_tie,
     planted_majority,
@@ -17,6 +19,13 @@ from repro.workloads.distributions import (
     zipf_colors,
 )
 from repro.workloads.generators import WorkloadSpec, generate_workload, workload_catalog
+from repro.workloads.registry import (
+    DEFAULT_WORKLOADS,
+    WorkloadRegistry,
+    get_workload,
+    register_workload,
+    workload_names,
+)
 
 __all__ = [
     "planted_majority",
@@ -25,7 +34,14 @@ __all__ = [
     "near_tie",
     "exact_tie",
     "adversarial_two_block",
+    "decisive_isolation",
+    "decisive_isolation_set",
     "WorkloadSpec",
     "generate_workload",
     "workload_catalog",
+    "DEFAULT_WORKLOADS",
+    "WorkloadRegistry",
+    "get_workload",
+    "register_workload",
+    "workload_names",
 ]

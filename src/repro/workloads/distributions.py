@@ -218,6 +218,43 @@ def exact_tie(
     return _shuffled(colors, seed)
 
 
+def decisive_isolation(
+    num_agents: int,
+    num_colors: int = 2,
+    seed: RngLike = None,
+) -> list[int]:
+    """The E8 negative-control input: isolating the low indices flips the majority.
+
+    Color 0 holds ``n // 2 + 1`` agents (the true majority) at the *low*
+    indices and color 1 holds the rest, so isolating the first
+    :func:`decisive_isolation_set` agents leaves a visible sub-population in
+    which color 1 is the plurality — any protocol must then answer
+    incorrectly under the unfair isolating schedule.  The assignment is
+    deliberately **not** shuffled (``seed`` is accepted for registry
+    uniformity and ignored): the isolation set is defined by index.
+    """
+    _validate(num_agents, num_colors)
+    if num_colors < 2:
+        raise ValueError("the decisive-isolation workload needs at least two colors")
+    if num_agents < 7:
+        raise ValueError("need at least 7 agents for a decisive isolation scenario")
+    majority_count = num_agents // 2 + 1
+    return [0] * majority_count + [1] * (num_agents - majority_count)
+
+
+def decisive_isolation_set(num_agents: int) -> list[int]:
+    """The agent indices to isolate so that :func:`decisive_isolation` flips.
+
+    Isolates enough color-0 agents (they occupy the low indices) that the
+    interacting sub-population has more color-1 than color-0 supporters.
+    """
+    if num_agents < 7:
+        raise ValueError("need at least 7 agents for a decisive isolation scenario")
+    majority_count = num_agents // 2 + 1
+    minority_count = num_agents - majority_count
+    return list(range(majority_count - minority_count + 1))
+
+
 def adversarial_two_block(
     num_agents: int,
     num_colors: int,

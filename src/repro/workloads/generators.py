@@ -1,35 +1,26 @@
 """Named workload specifications.
 
-The experiment harness refers to workloads by name ("planted-majority",
-"near-tie", ...) so that sweeps are configured with plain data.  A
-:class:`WorkloadSpec` couples a name with its parameters; ``generate_workload``
-resolves it to a concrete color assignment.
+The experiment harness and the sweep API refer to workloads by name
+("planted-majority", "near-tie", ...) so that sweeps are configured with
+plain data.  The name -> generator mapping itself lives in
+:mod:`repro.workloads.registry`; this module keeps the thin conveniences on
+top of it: a :class:`WorkloadSpec` couples a name with its parameters, and
+``generate_workload`` resolves a name to a concrete color assignment in one
+call.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.utils.rng import RngLike
-from repro.workloads import distributions
-
-GeneratorFn = Callable[..., list[int]]
-
-#: The built-in workload generators, keyed by name.
-_GENERATORS: dict[str, GeneratorFn] = {
-    "planted-majority": distributions.planted_majority,
-    "uniform": distributions.uniform_random_colors,
-    "zipf": distributions.zipf_colors,
-    "near-tie": distributions.near_tie,
-    "exact-tie": distributions.exact_tie,
-    "adversarial-two-block": distributions.adversarial_two_block,
-}
+from repro.workloads.registry import DEFAULT_WORKLOADS
 
 
 def workload_catalog() -> list[str]:
-    """The names of all built-in workloads."""
-    return sorted(_GENERATORS)
+    """The names of all registered workloads."""
+    return DEFAULT_WORKLOADS.names()
 
 
 @dataclass(frozen=True)
@@ -51,15 +42,9 @@ def generate_workload(
     seed: RngLike = None,
     **params: object,
 ) -> list[int]:
-    """Generate the named workload.
+    """Generate the named workload from the default registry.
 
     Raises:
         KeyError: for unknown workload names (the message lists valid names).
     """
-    try:
-        generator = _GENERATORS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {', '.join(workload_catalog())}"
-        ) from None
-    return generator(num_agents, num_colors, seed=seed, **params)
+    return DEFAULT_WORKLOADS.generate(name, num_agents, num_colors, seed=seed, **params)

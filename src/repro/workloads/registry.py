@@ -1,0 +1,125 @@
+"""The workload registry.
+
+Input workloads travel through the declarative sweep API by *name*, exactly
+like protocols (:mod:`repro.protocols.registry`) and simulation engines
+(:mod:`repro.simulation.registry`): a :class:`~repro.api.spec.RunSpec` stores
+``workload="planted-majority"`` plus plain-data parameters, and the executor
+resolves the name here when the run actually happens.  The registry is the
+single place where workload names resolve to generator functions.
+
+Names are canonically hyphenated ("planted-majority"); underscored spellings
+("planted_majority") are accepted everywhere and normalized, so specs written
+by hand in either convention resolve to the same generator.
+
+A generator is any callable ``fn(num_agents, num_colors, seed=None, **params)
+-> list[int]`` returning one input color per agent.  Register your own with
+:func:`register_workload` to make it addressable from specs and JSON configs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.utils.rng import RngLike
+from repro.workloads import distributions
+
+#: ``fn(num_agents, num_colors, seed=None, **params) -> list[int]``.
+WorkloadGenerator = Callable[..., list[int]]
+
+
+def _canonical(name: str) -> str:
+    """Normalize a workload name ("planted_majority" -> "planted-majority")."""
+    return name.replace("_", "-")
+
+
+class WorkloadRegistry:
+    """Name -> generator mapping with duplicate protection, mirroring the
+    protocol registry."""
+
+    def __init__(self) -> None:
+        self._generators: dict[str, WorkloadGenerator] = {}
+
+    def register(
+        self, name: str, generator: WorkloadGenerator, *, overwrite: bool = False
+    ) -> None:
+        """Register ``generator`` under ``name``.
+
+        Raises:
+            ValueError: if the name is already taken and ``overwrite`` is False.
+        """
+        name = _canonical(name)
+        if not overwrite and name in self._generators:
+            raise ValueError(f"workload name {name!r} is already registered")
+        self._generators[name] = generator
+
+    def get(self, name: str) -> WorkloadGenerator:
+        """Resolve a workload name to its generator function.
+
+        Raises:
+            KeyError: for unknown names (the message lists valid names).
+        """
+        try:
+            return self._generators[_canonical(name)]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none>"
+            raise KeyError(f"unknown workload {name!r}; available: {known}") from None
+
+    def generate(
+        self,
+        name: str,
+        num_agents: int,
+        num_colors: int,
+        seed: RngLike = None,
+        **params: object,
+    ) -> list[int]:
+        """Generate the named workload."""
+        return self.get(name)(num_agents, num_colors, seed=seed, **params)
+
+    def __contains__(self, name: str) -> bool:
+        return _canonical(name) in self._generators
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def names(self) -> list[str]:
+        """All registered workload names, sorted."""
+        return sorted(self._generators)
+
+
+#: The default, module-level registry holding every built-in workload.
+DEFAULT_WORKLOADS = WorkloadRegistry()
+
+
+def register_workload(
+    name: str, generator: WorkloadGenerator, *, overwrite: bool = False
+) -> None:
+    """Register a workload generator in the default registry."""
+    DEFAULT_WORKLOADS.register(name, generator, overwrite=overwrite)
+
+
+def get_workload(name: str) -> WorkloadGenerator:
+    """Resolve a workload name from the default registry."""
+    return DEFAULT_WORKLOADS.get(name)
+
+
+def workload_names() -> list[str]:
+    """All workload names in the default registry, sorted."""
+    return DEFAULT_WORKLOADS.names()
+
+
+def _register_builtin_workloads() -> None:
+    builtin: dict[str, WorkloadGenerator] = {
+        "planted-majority": distributions.planted_majority,
+        "uniform": distributions.uniform_random_colors,
+        "zipf": distributions.zipf_colors,
+        "near-tie": distributions.near_tie,
+        "exact-tie": distributions.exact_tie,
+        "adversarial-two-block": distributions.adversarial_two_block,
+        "decisive-isolation": distributions.decisive_isolation,
+    }
+    for name, generator in builtin.items():
+        if name not in DEFAULT_WORKLOADS:
+            DEFAULT_WORKLOADS.register(name, generator)
+
+
+_register_builtin_workloads()

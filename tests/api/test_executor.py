@@ -1,0 +1,167 @@
+"""Tests for spec execution: determinism, parallel equivalence, registries."""
+
+import pytest
+
+from repro.api.executor import (
+    MultiprocessingExecutor,
+    SerialExecutor,
+    SweepRunner,
+    build_criterion,
+    build_scheduler,
+    execute_run,
+    get_runner,
+    register_runner,
+    resolve_workload,
+    run_sweep,
+)
+from repro.api.records import RunRecord
+from repro.api.spec import RunSpec, SweepSpec
+from repro.core.circles import CirclesProtocol
+from repro.simulation.convergence import OutputConsensus, StableCircles
+
+
+class TestSeedDeterminism:
+    """Same RunSpec seed -> identical record, for every engine (satellite)."""
+
+    @pytest.mark.parametrize("engine", ["agent", "configuration", "batch"])
+    def test_repeat_runs_are_identical(self, engine):
+        spec = RunSpec(
+            protocol="circles", n=10, k=3, engine=engine, seed=123, max_steps=20_000
+        )
+        first = execute_run(spec)
+        second = execute_run(spec)
+        assert first == second
+        assert first.summary() == second.summary()
+        assert first.engine == engine
+        assert first.seed == 123
+
+    @pytest.mark.parametrize("engine", ["agent", "configuration", "batch"])
+    def test_different_seeds_reach_the_same_answer_differently(self, engine):
+        base = RunSpec(protocol="circles", n=10, k=3, engine=engine, seed=1, max_steps=20_000)
+        other = base.with_seed(2)
+        first, second = execute_run(base), execute_run(other)
+        assert first.correct and second.correct
+        assert (first.steps, first.interactions_changed) != (
+            second.steps,
+            second.interactions_changed,
+        )
+
+    def test_workload_seed_pins_the_input(self):
+        spec_a = RunSpec(protocol="circles", n=12, k=3, seed=1, workload_seed=7)
+        spec_b = RunSpec(protocol="circles", n=12, k=3, seed=2, workload_seed=7)
+        assert resolve_workload(spec_a) == resolve_workload(spec_b)
+
+
+class TestParallelEquivalence:
+    def test_workers_2_equals_serial_record_for_record(self):
+        sweep = SweepSpec(
+            protocols=("circles", "cancellation-plurality"),
+            populations=(8, 12),
+            ks=(3,),
+            engines=("batch",),
+            trials=2,
+            seed=31,
+            max_steps_quadratic=200,
+        )
+        serial = run_sweep(sweep)
+        parallel = run_sweep(sweep, workers=2)
+        assert parallel.records == serial.records
+
+    def test_spec_level_workers_field(self):
+        sweep = SweepSpec(
+            protocols=("circles",), populations=(8,), ks=(2,), trials=2, seed=3,
+            engines=("batch",), max_steps_quadratic=200, workers=2,
+        )
+        assert run_sweep(sweep).records == run_sweep(sweep, workers=1).records
+
+    def test_custom_executor_is_pluggable(self):
+        class ReversingExecutor:
+            """Executes out of order — results must still come back in order."""
+
+            def map(self, specs):
+                records = {id(spec): execute_run(spec) for spec in reversed(specs)}
+                return [records[id(spec)] for spec in specs]
+
+        sweep = SweepSpec(protocols=("circles",), populations=(8,), ks=(2,), trials=2,
+                          seed=5, engines=("batch",), max_steps_quadratic=200)
+        plugged = SweepRunner(executor=ReversingExecutor()).run(sweep)
+        assert plugged.records == SweepRunner().run(sweep).records
+
+    def test_executor_classes_validate(self):
+        with pytest.raises(ValueError):
+            MultiprocessingExecutor(0)
+        assert MultiprocessingExecutor(1).map([]) == SerialExecutor().map([])
+
+
+class TestRegistries:
+    def test_unknown_names_raise_with_listings(self):
+        with pytest.raises(ValueError, match="unknown criterion"):
+            build_criterion("nope")
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            build_scheduler("nope", 8)
+        with pytest.raises(ValueError, match="unknown runner"):
+            get_runner("nope")
+        with pytest.raises(KeyError, match="unknown workload"):
+            execute_run(RunSpec(protocol="circles", n=8, k=2, workload="nope"))
+
+    def test_criteria_resolve(self):
+        assert isinstance(build_criterion("output-consensus"), OutputConsensus)
+        assert isinstance(build_criterion("stable-circles"), StableCircles)
+
+    def test_scheduler_builder_closes_over_protocol(self):
+        protocol = CirclesProtocol(2)
+        scheduler = build_scheduler("greedy-stall", 8, seed=1, protocol=protocol)
+        assert scheduler.is_weakly_fair
+        isolated = build_scheduler("isolation", 8, seed=1, isolated=[0, 1])
+        assert not isolated.is_weakly_fair
+
+    def test_custom_runner_round_trip(self):
+        def toy_runner(spec: RunSpec) -> RunRecord:
+            return RunRecord(
+                spec=spec, seed=spec.seed, protocol_name=spec.protocol,
+                num_agents=spec.n, num_colors=spec.k, engine=spec.engine,
+                scheduler_name="none", converged=True, correct=True, steps=0,
+                interactions_changed=0, extras={"toy": True},
+            )
+
+        register_runner("toy-runner", toy_runner)
+        record = execute_run(RunSpec(protocol="circles", n=8, k=2, runner="toy-runner"))
+        assert record.extras == {"toy": True}
+        with pytest.raises(ValueError, match="already registered"):
+            register_runner("toy-runner", toy_runner)
+        register_runner("toy-runner", toy_runner, overwrite=True)
+
+    def test_experiment_runners_resolve_lazily(self):
+        # Experiment modules register their bespoke runners on import; the
+        # executor imports the package as a fallback for cold processes.
+        assert get_runner("e2-stabilization") is not None
+
+
+class TestProtocolRunner:
+    def test_explicit_criterion_overrides_circles_default(self):
+        stable = execute_run(
+            RunSpec(protocol="circles", n=8, k=2, seed=3, max_steps=10_000)
+        )
+        consensus = execute_run(
+            RunSpec(protocol="circles", n=8, k=2, seed=3, criterion="output-consensus",
+                    max_steps=10_000)
+        )
+        assert stable.converged and consensus.converged
+        # The circles default path reports energies; the generic path does not.
+        assert stable.initial_energy is not None
+        assert consensus.initial_energy is None
+
+    def test_named_scheduler_on_agent_engine(self):
+        record = execute_run(
+            RunSpec(protocol="circles", n=8, k=2, seed=3, scheduler="round-robin",
+                    scheduler_params={"shuffle_once": True}, max_steps=20_000)
+        )
+        assert record.scheduler_name == "round-robin"
+        assert record.correct
+
+    def test_scheduler_rejected_on_configuration_engines(self):
+        with pytest.raises(ValueError, match="uniform random scheduler"):
+            execute_run(
+                RunSpec(protocol="circles", n=8, k=2, engine="batch",
+                        scheduler="uniform-random", seed=1)
+            )

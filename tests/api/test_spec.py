@@ -1,0 +1,136 @@
+"""Tests for RunSpec/SweepSpec: expansion, seed derivation, JSON round trips."""
+
+import pytest
+
+from repro.api.spec import RunSpec, SweepSpec, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_process_stable(self):
+        # SHA-based, so the exact value is part of the persistence contract.
+        assert derive_seed(7, "run:0") == derive_seed(7, "run:0")
+        assert derive_seed(7, "run:0") != derive_seed(7, "run:1")
+        assert derive_seed(7, "run:0") != derive_seed(8, "run:0")
+
+    def test_values_are_plain_ints(self):
+        assert isinstance(derive_seed(0, "x"), int)
+
+
+class TestRunSpec:
+    def test_defaults(self):
+        spec = RunSpec(protocol="circles", n=10, k=3)
+        assert spec.workload == "planted-majority"
+        assert spec.engine == "agent"
+        assert spec.scheduler is None
+        assert spec.runner == "protocol"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunSpec(protocol="circles", n=1, k=3)
+        with pytest.raises(ValueError):
+            RunSpec(protocol="circles", n=10, k=0)
+
+    def test_workload_seed_defaults_to_run_seed(self):
+        spec = RunSpec(protocol="circles", n=10, k=3, seed=42)
+        assert spec.effective_workload_seed == 42
+        assert spec.with_seed(5).seed == 5
+        pinned = RunSpec(protocol="circles", n=10, k=3, seed=42, workload_seed=9)
+        assert pinned.effective_workload_seed == 9
+
+    def test_json_round_trip(self):
+        spec = RunSpec(
+            protocol="circles",
+            n=12,
+            k=3,
+            workload="near-tie",
+            workload_params={"majority_color": 1},
+            engine="batch",
+            max_steps=500,
+            seed=7,
+            workload_seed=11,
+        )
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+
+class TestSweepSpecExpansion:
+    def test_grid_size(self):
+        sweep = SweepSpec(
+            protocols=("circles", "exact-majority"),
+            populations=(8, 16),
+            ks=(2,),
+            workloads=("planted-majority", "near-tie"),
+            engines=("agent", "batch"),
+            trials=3,
+            seed=1,
+        )
+        assert len(sweep) == 2 * 2 * 1 * 2 * 2 * 3
+        assert len(sweep.expand()) == len(sweep)
+
+    def test_expansion_is_deterministic(self):
+        sweep = SweepSpec(protocols=("circles",), populations=(8,), ks=(2, 3), trials=2, seed=5)
+        assert sweep.expand() == sweep.expand()
+
+    def test_every_run_gets_a_distinct_seed(self):
+        sweep = SweepSpec(protocols=("circles",), populations=(8, 10), ks=(2,), trials=4, seed=5)
+        seeds = [run.seed for run in sweep.expand()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_workload_seed_shared_per_sweep_point(self):
+        # All protocols and trials at one (k, n, workload) point see the same
+        # input colors; different points see different ones.
+        sweep = SweepSpec(
+            protocols=("circles", "exact-majority"),
+            populations=(8, 10),
+            ks=(2,),
+            trials=2,
+            seed=5,
+        )
+        runs = sweep.expand()
+        by_point = {}
+        for run in runs:
+            by_point.setdefault((run.k, run.n, run.workload), set()).add(run.workload_seed)
+        assert all(len(seeds) == 1 for seeds in by_point.values())
+        assert len({next(iter(s)) for s in by_point.values()}) == len(by_point)
+
+    def test_axis_entries_accept_params(self):
+        sweep = SweepSpec(
+            protocols=(("circles", {}),),
+            populations=(8,),
+            ks=(3,),
+            workloads=(("planted-majority", {"margin": 2}),),
+            schedulers=(None, ("round-robin", {"shuffle_once": True})),
+            seed=0,
+        )
+        runs = sweep.expand()
+        assert {run.scheduler for run in runs} == {None, "round-robin"}
+        assert all(run.workload_params == {"margin": 2} for run in runs)
+
+    def test_quadratic_budget(self):
+        sweep = SweepSpec(
+            protocols=("circles",), populations=(10,), ks=(2,), max_steps_quadratic=80, seed=0
+        )
+        assert sweep.expand()[0].max_steps == 80 * 10 * 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(protocols=(), populations=(8,), ks=(2,))
+        with pytest.raises(ValueError):
+            SweepSpec(protocols=("circles",), populations=(8,), ks=(2,), trials=0)
+
+    def test_json_round_trip_preserves_expansion(self):
+        sweep = SweepSpec(
+            name="round-trip",
+            protocols=("circles", ("cancellation-plurality", {})),
+            populations=(8, 16),
+            ks=(3,),
+            workloads=(("zipf", {"exponent": 1.4}),),
+            engines=("batch",),
+            schedulers=(None,),
+            max_steps_quadratic=200,
+            trials=2,
+            seed=59,
+            workers=2,
+        )
+        restored = SweepSpec.from_json(sweep.to_json())
+        assert restored == sweep
+        assert restored.expand() == sweep.expand()

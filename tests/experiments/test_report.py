@@ -1,5 +1,7 @@
 """Tests for the Markdown report generator."""
 
+import pytest
+
 from repro.experiments import register_experiment
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.report import generate_report, main
@@ -34,8 +36,24 @@ class TestCli:
         captured = capsys.readouterr()
         assert "toy experiment" in captured.out
 
-    def test_writes_to_file(self, tmp_path, capsys):
+    def test_writes_to_file_legacy_positional(self, tmp_path, capsys):
         target = tmp_path / "report.md"
         assert main([str(target), "E0-TOY"]) == 0
         assert "toy experiment" in target.read_text(encoding="utf-8")
         assert str(target) in capsys.readouterr().out
+
+    def test_writes_to_file_with_output_flag(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["-o", str(target), "E0-TOY"]) == 0
+        assert "toy experiment" in target.read_text(encoding="utf-8")
+        assert str(target) in capsys.readouterr().out
+
+    def test_output_flag_after_positionals(self, tmp_path):
+        target = tmp_path / "report.md"
+        assert main(["E0-TOY", "--output", str(target)]) == 0
+        report = target.read_text(encoding="utf-8")
+        assert report.count("### E0-TOY") == 1
+
+    def test_unknown_experiment_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            main(["E-NOPE"])

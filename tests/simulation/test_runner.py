@@ -81,6 +81,21 @@ class TestRunCircles:
         assert summary["correct"] is True
         assert summary["n"] == 3
 
+    def test_results_are_self_describing(self):
+        """Engine and seed are recorded on the result and in its summary."""
+        for engine in ("agent", "configuration", "batch"):
+            outcome = run_circles([0, 0, 0, 1], seed=5, engine=engine)
+            assert outcome.engine == engine
+            assert outcome.seed == 5
+            summary = outcome.summary()
+            assert summary["engine"] == engine
+            assert summary["seed"] == 5
+
+    def test_unseeded_run_records_no_seed(self):
+        outcome = run_circles([0, 0, 1])
+        assert outcome.seed is None
+        assert outcome.engine == "agent"
+
     def test_budget_too_small_reports_not_converged(self):
         outcome = run_circles([0, 0, 0, 1, 1, 2, 2, 3], max_steps=1, seed=4)
         assert not outcome.converged
