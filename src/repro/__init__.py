@@ -16,7 +16,9 @@ The most common entry points are re-exported here:
   input color assignment under a (weakly fair) scheduler.  Both accept
   ``engine="agent" | "configuration" | "batch"`` (see
   :func:`get_engine`); the batched engine is the fast path for large
-  populations.
+  populations.  The configuration-level engines run on *compiled*
+  transition tables by default (:func:`compile_protocol`,
+  :mod:`repro.compile`); ``compiled=False`` forces Python dispatch.
 * :class:`RunSpec` / :class:`SweepSpec` / :func:`run_sweep` — the
   declarative sweep layer (:mod:`repro.api`): describe runs and grids as
   plain data (every axis by registry name), execute them serially or over a
@@ -42,6 +44,12 @@ True
 [0]
 """
 
+from repro.compile import (
+    CompiledProtocol,
+    compile_protocol,
+    enumerate_states,
+    reachable_state_count,
+)
 from repro.core.braket import BraKet, braket_weight
 from repro.core.circles import CirclesProtocol, CirclesVariant
 from repro.core.greedy_sets import (
@@ -75,6 +83,10 @@ __all__ = [
     "ordinal_potential",
     "PopulationProtocol",
     "TransitionResult",
+    "CompiledProtocol",
+    "compile_protocol",
+    "enumerate_states",
+    "reachable_state_count",
     "get_protocol",
     "register_protocol",
     "available_engines",

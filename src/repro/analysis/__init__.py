@@ -14,6 +14,7 @@
 from repro.analysis.state_complexity import (
     StateComplexityReport,
     declared_state_count,
+    exact_reachable_count,
     reachable_states,
     state_complexity_report,
 )
@@ -24,6 +25,7 @@ from repro.analysis.statistics import SummaryStats, confidence_interval, summari
 __all__ = [
     "StateComplexityReport",
     "declared_state_count",
+    "exact_reachable_count",
     "reachable_states",
     "state_complexity_report",
     "ReachabilityResult",

@@ -10,6 +10,12 @@ in ``C`` transitions so that the multiset becomes ``C'``.
 The explorer underpins the model-checking half of experiment E3 and several
 integration tests (e.g. "every terminal configuration of Circles matches the
 greedy-independent-set prediction").
+
+State discovery and transition evaluation share the compiled-protocol
+machinery (:mod:`repro.compile`): :func:`explore_configurations` compiles the
+δ-closure of the initial support once and expands every configuration's
+successors through flat-table lookups, falling back to per-pair Python
+dispatch only when the closure exceeds the compile cap.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import TypeVar
 
+from repro.compile import CompiledProtocol, StateSpaceCapExceeded, compile_from_states
 from repro.protocols.base import PopulationProtocol
 from repro.utils.multiset import Multiset
 
@@ -39,23 +46,39 @@ def key_to_multiset(key: ConfigKey) -> Multiset[State]:
 
 
 def successor_configurations(
-    protocol: PopulationProtocol[State], configuration: Multiset[State]
+    protocol: PopulationProtocol[State],
+    configuration: Multiset[State],
+    compiled: CompiledProtocol[State] | None = None,
 ) -> set[ConfigKey]:
-    """All configurations reachable in exactly one interaction (excluding self-loops)."""
+    """All configurations reachable in exactly one interaction (excluding self-loops).
+
+    When ``compiled`` is given (it must cover every state in the
+    configuration), transitions are flat-table lookups instead of Python
+    dispatch — the path :func:`explore_configurations` uses.
+    """
     successors: set[ConfigKey] = set()
     support = list(configuration.support())
     for initiator in support:
         for responder in support:
             if initiator == responder and configuration.count(initiator) < 2:
                 continue
-            result = protocol.transition(initiator, responder)
-            if not result.changed:
-                continue
+            if compiled is not None:
+                a, b, changed = compiled.transition_codes(
+                    compiled.encode(initiator), compiled.encode(responder)
+                )
+                if not changed:
+                    continue
+                new_initiator, new_responder = compiled.decode(a), compiled.decode(b)
+            else:
+                result = protocol.transition(initiator, responder)
+                if not result.changed:
+                    continue
+                new_initiator, new_responder = result.initiator, result.responder
             next_config = configuration.copy()
             next_config.remove(initiator)
             next_config.remove(responder)
-            next_config.add(result.initiator)
-            next_config.add(result.responder)
+            next_config.add(new_initiator)
+            next_config.add(new_responder)
             successors.add(configuration_key(next_config))
     return successors
 
@@ -111,6 +134,10 @@ def explore_configurations(
     initial = Multiset(protocol.initial_state(color) for color in colors)
     if len(initial) < 2:
         raise ValueError("reachability analysis needs at least two agents")
+    try:
+        compiled = compile_from_states(protocol, initial.support())
+    except StateSpaceCapExceeded:
+        compiled = None
     initial_key = configuration_key(initial)
     result = ReachabilityResult(initial=initial_key)
     result.configurations.add(initial_key)
@@ -118,7 +145,7 @@ def explore_configurations(
     while frontier:
         current_key = frontier.popleft()
         current = key_to_multiset(current_key)
-        successors = successor_configurations(protocol, current)
+        successors = successor_configurations(protocol, current, compiled=compiled)
         result.edges[current_key] = successors
         for successor in successors:
             if successor not in result.configurations:

@@ -10,7 +10,13 @@ an agent can be in.  Two counts matter experimentally:
   Circles it is at most ``k^2 · k = k^3`` but typically far smaller for a
   specific input).
 
-``state_complexity_report`` collects both, together with the reference curves
+Two reachable notions are reported: the *empirical* count observed along one
+randomized run (:func:`reachable_states`, an under-approximation) and the
+*exact* δ-closure of the input's initial states
+(:func:`exact_reachable_count`, computed by the shared enumeration in
+:mod:`repro.compile` — the same state space the compiled engines index).
+
+``state_complexity_report`` collects them together with the reference curves
 the paper cites: the best known upper bound before this work, ``O(k^7)``
 (Gąsieniec et al. [10]), and the ``Ω(k^2)`` lower bound (Natale & Ramezani
 [12]).
@@ -22,6 +28,11 @@ from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass
 from typing import TypeVar
 
+from repro.compile import (
+    DEFAULT_MAX_COMPILED_STATES,
+    StateSpaceCapExceeded,
+    enumerate_states,
+)
 from repro.protocols.base import PopulationProtocol
 from repro.scheduling.permutation import RandomPermutationScheduler
 from repro.simulation.engine import AgentSimulation
@@ -60,6 +71,22 @@ def reachable_states(
     return observed
 
 
+def exact_reachable_count(
+    protocol: PopulationProtocol[State],
+    colors: Sequence[int] | None = None,
+    max_states: int | None = None,
+) -> int:
+    """The exact reachable count: the size of the δ-closure of the input map.
+
+    Unlike :func:`reachable_states` this is independent of any particular
+    execution — it is the number of states *some* fair execution from the
+    input can populate, computed by closing ``δ`` over the initial states
+    (the same enumeration the compiled engines index).  ``colors`` may be a
+    concrete workload (repeats are fine) or ``None`` for all ``k`` colors.
+    """
+    return len(enumerate_states(protocol, colors, max_states=max_states))
+
+
 #: Reference state-complexity curves quoted by the paper (§1, Contribution).
 def circles_bound(num_colors: int) -> int:
     """The paper's upper bound: exactly ``k^3`` states."""
@@ -78,16 +105,28 @@ def lower_bound(num_colors: int) -> int:
 
 @dataclass(frozen=True)
 class StateComplexityReport:
-    """Declared/reachable counts for one protocol at one ``k``."""
+    """Declared/reachable counts for one protocol at one ``k``.
+
+    ``reachable`` is the empirical count along one run; ``reachable_exact``
+    the size of the δ-closure of the input map (``None`` when enumeration was
+    skipped or capped).
+    """
 
     protocol_name: str
     num_colors: int
     declared: int
     reachable: int | None
+    reachable_exact: int | None = None
 
     def as_row(self) -> tuple[object, ...]:
         """A row for the E1 table."""
-        return (self.protocol_name, self.num_colors, self.declared, self.reachable)
+        return (
+            self.protocol_name,
+            self.num_colors,
+            self.declared,
+            self.reachable,
+            self.reachable_exact,
+        )
 
 
 def state_complexity_report(
@@ -102,11 +141,23 @@ def state_complexity_report(
         if colors is not None
         else None
     )
+    reachable_exact: int | None = None
+    if colors is not None:
+        try:
+            # Exact enumeration is O(d²) transition evaluations; cap it so a
+            # huge closure (e.g. the tournament comparator at k ≥ 4) degrades
+            # to None instead of stalling the report.
+            reachable_exact = exact_reachable_count(
+                protocol, colors, max_states=DEFAULT_MAX_COMPILED_STATES
+            )
+        except StateSpaceCapExceeded:
+            reachable_exact = None
     return StateComplexityReport(
         protocol_name=protocol.name,
         num_colors=protocol.num_colors,
         declared=declared_state_count(protocol),
         reachable=reachable,
+        reachable_exact=reachable_exact,
     )
 
 

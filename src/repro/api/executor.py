@@ -42,6 +42,7 @@ from repro.simulation.convergence import (
     StableCircles,
 )
 from repro.simulation.runner import run_circles, run_protocol
+from repro.utils.errors import unknown_name_error
 from repro.workloads.registry import DEFAULT_WORKLOADS
 
 # --------------------------------------------------------------------------- #
@@ -138,15 +139,18 @@ def register_runner(name: str, runner: RunnerFn, *, overwrite: bool = False) -> 
 def get_runner(name: str) -> RunnerFn:
     """Resolve a runner name; imports the experiment package once as a
     fallback so specs naming experiment-registered runners (e.g.
-    ``"e2-stabilization"``) work from a cold process."""
+    ``"e2-stabilization"``) work from a cold process.
+
+    Raises:
+        KeyError: for unknown names, listing the available ones (the shared
+            registry error contract of :mod:`repro.utils.errors`).
+    """
     if name not in _RUNNERS:
         import repro.experiments  # noqa: F401  (registers experiment runners)
     try:
         return _RUNNERS[name]
     except KeyError:
-        raise ValueError(
-            f"unknown runner {name!r}; available: {', '.join(sorted(_RUNNERS))}"
-        ) from None
+        raise unknown_name_error("runner", name, _RUNNERS) from None
 
 
 def resolve_workload(spec: RunSpec) -> list[int]:
@@ -182,6 +186,7 @@ def _protocol_runner(spec: RunSpec) -> RunRecord:
             max_steps=spec.max_steps,
             seed=spec.seed,
             engine=spec.engine,
+            compiled=spec.compiled,
             **{key: value for key, value in spec.protocol_params.items() if key == "variant"},
         )
     else:
@@ -194,6 +199,7 @@ def _protocol_runner(spec: RunSpec) -> RunRecord:
             max_steps=spec.max_steps,
             seed=spec.seed,
             engine=spec.engine,
+            compiled=spec.compiled,
         )
     return RunRecord.from_result(spec, result)
 

@@ -82,6 +82,11 @@ class RunSpec:
     protocol_params: Mapping[str, Any] = field(default_factory=dict)
     workload_params: Mapping[str, Any] = field(default_factory=dict)
     engine: str = "agent"
+    #: Whether the engine runs on compiled transition tables
+    #: (:mod:`repro.compile`).  ``None`` keeps each engine's default — the
+    #: configuration-level engines compile transparently, the agent engine
+    #: does not; ``False`` forces the uncompiled path (benchmark baselines).
+    compiled: bool | None = None
     scheduler: str | None = None
     scheduler_params: Mapping[str, Any] = field(default_factory=dict)
     criterion: str | None = None

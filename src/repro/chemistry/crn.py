@@ -12,16 +12,18 @@ protocol under the uniform random scheduler, which is what makes the paper's
 
 Because declared state sets can be huge (Circles has ``k^3`` states), the
 translation works from a set of *seed* species (e.g. the initial states of a
-concrete input) and only adds species/reactions reachable from them.
+concrete input) and only adds species/reactions reachable from them.  Species
+discovery is the same δ-closure every compiled engine uses
+(:func:`repro.compile.enumerate_states`) rather than a private re-derivation.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass, field
 from typing import Generic, TypeVar
 
+from repro.compile import StateSpaceCapExceeded, enumerate_states
 from repro.protocols.base import PopulationProtocol
 
 State = TypeVar("State", bound=Hashable)
@@ -80,34 +82,20 @@ def protocol_to_crn(
         RuntimeError: if the closure exceeds ``max_species`` (the caller
             should seed with a concrete input rather than the full state set).
     """
-    crn: CRN[State] = CRN()
-    frontier: deque[State] = deque()
-    for species in seed_species:
-        if species not in crn.species:
-            crn.species.add(species)
-            frontier.append(species)
-
-    seen_pairs: set[tuple[State, State]] = set()
-
-    while frontier:
-        current = frontier.popleft()
-        for other in list(crn.species):
-            for initiator, responder in ((current, other), (other, current)):
-                if (initiator, responder) in seen_pairs:
-                    continue
-                seen_pairs.add((initiator, responder))
-                result = protocol.transition(initiator, responder)
-                if not result.changed:
-                    continue
+    try:
+        species = enumerate_states(
+            protocol, seed_states=list(seed_species), max_states=max_species
+        )
+    except StateSpaceCapExceeded as exc:
+        raise RuntimeError(
+            "CRN closure exceeded the species cap; seed with a concrete input"
+        ) from exc
+    crn: CRN[State] = CRN(species=set(species))
+    for initiator in species:
+        for responder in species:
+            result = protocol.transition(initiator, responder)
+            if result.changed:
                 crn.reactions.append(
                     Reaction(reactants=(initiator, responder), products=result.as_pair())
                 )
-                for product in result.as_pair():
-                    if product not in crn.species:
-                        if len(crn.species) >= max_species:
-                            raise RuntimeError(
-                                "CRN closure exceeded the species cap; seed with a concrete input"
-                            )
-                        crn.species.add(product)
-                        frontier.append(product)
     return crn

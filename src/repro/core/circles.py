@@ -81,6 +81,17 @@ class CirclesProtocol(PopulationProtocol[CirclesState]):
         super().__init__(num_colors)
         self.variant = variant or CirclesVariant.paper()
 
+    def compile_signature(self):
+        """Pure function of ``(class, k, variant)``: the ablation switches are
+        part of the transition function, so each variant compiles its own
+        tables."""
+        return (
+            type(self),
+            self.num_colors,
+            self.variant.exchange_rule,
+            self.variant.output_rule,
+        )
+
     # -- protocol maps ---------------------------------------------------------
 
     def states(self) -> Iterator[CirclesState]:

@@ -39,6 +39,10 @@ class ApproximateMajorityProtocol(PopulationProtocol[OpinionState]):
 
     name = "approximate-majority"
 
+    def compile_signature(self):
+        """Pure function of ``(class, k)``: compiled tables shared across instances."""
+        return (type(self), self.num_colors)
+
     def __init__(self, num_colors: int = 2) -> None:
         if num_colors != 2:
             raise ValueError("the three-state approximate majority protocol only supports k = 2")

@@ -91,6 +91,20 @@ class PopulationProtocol(abc.ABC, Generic[State]):
 
     # -- derived helpers -------------------------------------------------------
 
+    def compile_signature(self) -> Hashable | None:
+        """A value identity for compiled-table caching (:mod:`repro.compile`).
+
+        Two instances reporting the same non-``None`` signature promise to
+        implement *identical* protocol maps, so compiled transition tables
+        can be shared across them — which is what lets registry-driven sweeps
+        (a fresh protocol instance per run) compile once per process instead
+        of once per run.  The default is ``None``: tables are cached per
+        instance only.  Protocols that are pure functions of their
+        constructor parameters override this, always including ``type(self)``
+        in the tuple so subclasses never collide with their parents.
+        """
+        return None
+
     def state_count(self) -> int:
         """The size of the declared state set (state complexity)."""
         return sum(1 for _ in self.states())

@@ -38,6 +38,10 @@ class CancellationPluralityProtocol(PopulationProtocol[PluralityState]):
 
     name = "cancellation-plurality"
 
+    def compile_signature(self):
+        """Pure function of ``(class, k)``: compiled tables shared across instances."""
+        return (type(self), self.num_colors)
+
     def states(self) -> Iterator[PluralityState]:
         for color in range(self.num_colors):
             yield PluralityState(color, True)

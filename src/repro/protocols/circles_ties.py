@@ -62,6 +62,10 @@ class TieReportCircles(PopulationProtocol[TieAwareState]):
 
     name = "circles-tie-report"
 
+    def compile_signature(self):
+        """Pure function of ``(class, k)``: compiled tables shared across instances."""
+        return (type(self), self.num_colors)
+
     def __init__(self, num_colors: int) -> None:
         super().__init__(num_colors)
 

@@ -68,6 +68,10 @@ class UnorderedCirclesProtocol(PopulationProtocol[UnorderedState]):
 
     name = "circles-unordered"
 
+    def compile_signature(self):
+        """Pure function of ``(class, k)``: compiled tables shared across instances."""
+        return (type(self), self.num_colors)
+
     def states(self) -> Iterator[UnorderedState]:
         k = self.num_colors
         for color in range(k):

@@ -40,6 +40,10 @@ class ExactMajorityProtocol(PopulationProtocol[MajorityState]):
 
     name = "exact-majority"
 
+    def compile_signature(self):
+        """Pure function of ``(class, k)``: compiled tables shared across instances."""
+        return (type(self), self.num_colors)
+
     def __init__(self, num_colors: int = 2) -> None:
         if num_colors != 2:
             raise ValueError("the four-state exact majority protocol only supports k = 2")

@@ -35,6 +35,10 @@ class LeaderElectionProtocol(PopulationProtocol[LeaderState]):
 
     name = "leader-election"
 
+    def compile_signature(self):
+        """Pure function of ``(class, k)``: compiled tables shared across instances."""
+        return (type(self), self.num_colors)
+
     def __init__(self, num_colors: int = 1) -> None:
         super().__init__(num_colors)
 
@@ -75,6 +79,10 @@ class PerColorLeaderElection(PopulationProtocol[ColorLeaderState]):
     """Leader election run independently within each color class (``2k`` states)."""
 
     name = "per-color-leader-election"
+
+    def compile_signature(self):
+        """Pure function of ``(class, k)``: compiled tables shared across instances."""
+        return (type(self), self.num_colors)
 
     def states(self) -> Iterator[ColorLeaderState]:
         for color in range(self.num_colors):

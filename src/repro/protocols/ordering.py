@@ -42,6 +42,10 @@ class ColorOrderingProtocol(PopulationProtocol[OrderingState]):
 
     name = "color-ordering"
 
+    def compile_signature(self):
+        """Pure function of ``(class, k)``: compiled tables shared across instances."""
+        return (type(self), self.num_colors)
+
     def states(self) -> Iterator[OrderingState]:
         for color in range(self.num_colors):
             for leader in (True, False):

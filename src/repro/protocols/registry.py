@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 
 from repro.protocols.base import PopulationProtocol
+from repro.utils.errors import unknown_name_error
 
 ProtocolFactory = Callable[..., PopulationProtocol]
 
@@ -32,12 +33,15 @@ class ProtocolRegistry:
         self._factories[name] = factory
 
     def create(self, name: str, *args: object, **kwargs: object) -> PopulationProtocol:
-        """Instantiate the protocol registered under ``name``."""
+        """Instantiate the protocol registered under ``name``.
+
+        Raises:
+            KeyError: for unknown names, listing the available ones.
+        """
         try:
             factory = self._factories[name]
         except KeyError:
-            known = ", ".join(sorted(self._factories)) or "<none>"
-            raise KeyError(f"unknown protocol {name!r}; known protocols: {known}") from None
+            raise unknown_name_error("protocol", name, self._factories) from None
         return factory(*args, **kwargs)
 
     def __contains__(self, name: str) -> bool:

@@ -78,6 +78,10 @@ class TournamentPluralityProtocol(PopulationProtocol[TournamentState]):
 
     name = "tournament-plurality"
 
+    def compile_signature(self):
+        """Pure function of ``(class, k)``: compiled tables shared across instances."""
+        return (type(self), self.num_colors)
+
     def __init__(self, num_colors: int) -> None:
         super().__init__(num_colors)
         self._num_pairs = num_pairs(num_colors)

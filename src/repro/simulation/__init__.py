@@ -19,6 +19,13 @@ behind the shared :class:`repro.simulation.base.SimulationEngine` interface:
   path behind the convergence-time benchmarks (experiment E6) at
   ``n = 10^5``–``10^6``.
 
+The configuration-level engines run on *compiled* transition tables by
+default (:mod:`repro.compile`): the configuration is an integer count vector
+over the protocol's reachable state space and every transition is a flat
+table lookup; the batch engine's bursts are vectorized when numpy is
+available.  ``compiled=False`` (on the constructors, ``run_protocol`` /
+``run_circles`` or ``RunSpec``) forces the original uncompiled paths.
+
 Engines are selected by name through :func:`repro.simulation.get_engine` or,
 more commonly, through the ``engine=`` parameter of the high-level API::
 

@@ -14,7 +14,12 @@ holds what they share:
 * :class:`ConfigurationEngine` — the common machinery of the engines that
   track only the configuration (construction and validation, the observer
   hook, configuration bookkeeping per applied transition, count-weighted
-  output tallies).
+  output tallies).  It also owns the *compiled* representation
+  (:mod:`repro.compile`): by default the configuration lives in an
+  integer-indexed count vector over the protocol's reachable state space
+  and transitions are flat-table lookups, with a transparent fallback to
+  the multiset representation for protocols whose δ-closure exceeds the
+  compile cap (or with ``compiled=False``).
 * :func:`default_check_interval` — the single default policy for how often
   convergence is checked.
 
@@ -28,6 +33,7 @@ import abc
 from collections.abc import Callable, Hashable, Iterable
 from typing import ClassVar, Generic, TypeVar
 
+from repro.compile import CompiledProtocol, StateSpaceCapExceeded, compile_from_states
 from repro.protocols.base import PopulationProtocol, TransitionResult
 from repro.simulation.convergence import ConvergenceCriterion
 from repro.utils.multiset import Multiset
@@ -152,6 +158,15 @@ class SimulationEngine(abc.ABC, Generic[State]):
 
     # -- shared inspection -------------------------------------------------------
 
+    @property
+    def compiled_protocol(self) -> CompiledProtocol | None:
+        """The compiled transition tables backing this engine, if any.
+
+        ``None`` means the engine runs on its uncompiled path (either by
+        request or because the protocol's δ-closure exceeded the compile cap).
+        """
+        return getattr(self, "_compiled", None)
+
     def outputs(self) -> list[int]:
         """Every agent's current output color (order as in :meth:`states`)."""
         output = self.protocol.output
@@ -173,6 +188,19 @@ class ConfigurationEngine(SimulationEngine[State]):
     sampling strategy (:meth:`_advance`); construction, validation, the
     transition-observer contract and the configuration bookkeeping live
     here so the sequential and the batched engine cannot drift apart.
+
+    Compilation
+    -----------
+
+    By default (``compiled`` left at ``None`` or True) the engine compiles
+    the protocol's δ-closure into flat integer tables
+    (:class:`repro.compile.CompiledProtocol`) and tracks the configuration as
+    an index-aligned **count vector** instead of a hashable-state multiset —
+    every transition becomes index arithmetic on that vector.  When the
+    closure exceeds the compile cap, or with ``compiled=False``, the engine
+    falls back to the multiset representation and per-pair Python dispatch.
+    Exactly one of ``_counts`` (compiled) and ``_configuration`` (uncompiled)
+    is live at any time.
     """
 
     def __init__(
@@ -181,17 +209,32 @@ class ConfigurationEngine(SimulationEngine[State]):
         initial: Iterable[State] | Multiset[State],
         seed: RngLike = None,
         transition_observer: TransitionObserver | None = None,
+        compiled: bool | None = None,
     ) -> None:
         self.protocol = protocol
         configuration = initial if isinstance(initial, Multiset) else Multiset(initial)
         if len(configuration) < 2:
             raise ValueError("a population needs at least two agents")
-        self._configuration = configuration.copy()
+        self._configuration: Multiset[State] | None = configuration.copy()
         self._num_agents = len(configuration)
         self._rng = make_rng(seed)
         self.transition_observer = transition_observer
         self.steps_taken = 0
         self.interactions_changed = 0
+        self._compiled: CompiledProtocol[State] | None = None
+        self._counts: list[int] | None = None
+        if compiled is None or compiled:
+            self._try_compile()
+
+    def _try_compile(self) -> None:
+        """Switch to the count-vector representation when compilation fits."""
+        try:
+            compiled = compile_from_states(self.protocol, self._configuration.support())
+        except StateSpaceCapExceeded:
+            return
+        self._compiled = compiled
+        self._counts = compiled.multiset_to_counts(self._configuration)
+        self._configuration = None
 
     @classmethod
     def from_colors(
@@ -200,6 +243,7 @@ class ConfigurationEngine(SimulationEngine[State]):
         colors: Iterable[int],
         seed: RngLike = None,
         transition_observer: TransitionObserver | None = None,
+        compiled: bool | None = None,
     ):
         """Create the initial configuration from input colors."""
         return cls(
@@ -207,6 +251,7 @@ class ConfigurationEngine(SimulationEngine[State]):
             (protocol.initial_state(color) for color in colors),
             seed,
             transition_observer=transition_observer,
+            compiled=compiled,
         )
 
     def _apply_changed_transition(
@@ -226,8 +271,38 @@ class ConfigurationEngine(SimulationEngine[State]):
         if self.transition_observer is not None:
             self.transition_observer(initiator, responder, result, count)
 
+    def _record_changed_codes(self, p: int, q: int, a: int, b: int, count: int) -> None:
+        """Book a changed compiled transition: counter + (decoded) observer.
+
+        Count-vector bookkeeping stays with the caller — the engines update
+        counts differently (per pair type, or wholesale per burst).
+        """
+        self.interactions_changed += count
+        if self.transition_observer is not None:
+            decode = self._compiled.decode
+            self.transition_observer(
+                decode(p),
+                decode(q),
+                TransitionResult(decode(a), decode(b), True),
+                count,
+            )
+
+    def _book_changed_codes(self, p: int, q: int, a: int, b: int, count: int) -> None:
+        """Apply one changed compiled pair type to the count vector and book it."""
+        counts = self._counts
+        counts[p] -= count
+        counts[q] -= count
+        counts[a] += count
+        counts[b] += count
+        self._record_changed_codes(p, q, a, b, count)
+
     def _converged(self, criterion: ConvergenceCriterion[State]) -> bool:
-        return criterion.is_converged_configuration(self.protocol, self._configuration)
+        configuration = (
+            self._configuration
+            if self._compiled is None
+            else self._compiled.counts_to_multiset(self._counts)
+        )
+        return criterion.is_converged_configuration(self.protocol, configuration)
 
     # -- inspection -------------------------------------------------------------
 
@@ -238,19 +313,35 @@ class ConfigurationEngine(SimulationEngine[State]):
 
     def states(self) -> list[State]:
         """The current agent states (anonymous, so order carries no meaning)."""
-        return list(self._configuration.elements())
+        if self._compiled is None:
+            return list(self._configuration.elements())
+        states: list[State] = []
+        decode = self._compiled.decode
+        for code, count in enumerate(self._counts):
+            if count:
+                states.extend([decode(code)] * int(count))
+        return states
 
     def configuration(self) -> Multiset[State]:
         """A copy of the current configuration."""
-        return self._configuration.copy()
+        if self._compiled is None:
+            return self._configuration.copy()
+        return self._compiled.counts_to_multiset(self._counts)
 
     def output_counts(self) -> dict[int, int]:
         """How many agents currently output each color."""
         counts: dict[int, int] = {}
-        output = self.protocol.output
-        for state, count in self._configuration.items():
-            color = output(state)
-            counts[color] = counts.get(color, 0) + count
+        if self._compiled is None:
+            output = self.protocol.output
+            for state, count in self._configuration.items():
+                color = output(state)
+                counts[color] = counts.get(color, 0) + count
+        else:
+            outputs = self._compiled.outputs
+            for code, count in enumerate(self._counts):
+                if count:
+                    color = outputs[code]
+                    counts[color] = counts.get(color, 0) + int(count)
         return counts
 
     def unanimous_output(self) -> int | None:

@@ -18,21 +18,27 @@ simulators of Berenbrink et al.:
    ``(n-m)(n-m-1) / (n(n-1))`` where ``m`` agents are already touched.
    By the birthday paradox a burst contains ``Θ(√n)`` interactions.
 2. **Bulk application.**  The states of the fresh agents are a uniform draw
-   *without replacement* from the configuration; the engine keeps the agent
-   pool as a flat list and pops random entries in ``O(1)``.  Drawn pairs are
-   aggregated into ordered pair-type counts and each distinct pair type is
-   applied once through a memoized transition table — the per-interaction
-   cost is a few dictionary operations regardless of ``d``.
+   *without replacement* from the configuration.  On the default *compiled*
+   path (see :mod:`repro.compile`) the configuration is an integer count
+   vector: the burst's agents are drawn as a multivariate-hypergeometric
+   composition of that vector, paired by a uniform shuffle, and every
+   distinct ordered pair type is applied once through the protocol's flat
+   transition table — with numpy, the whole burst is a handful of vectorized
+   array operations instead of a Python loop per interaction.  Without
+   numpy (or uncompiled), the engine keeps the agent pool as a flat list,
+   pops random entries in ``O(1)`` and aggregates drawn pairs into ordered
+   pair-type counts.
 3. **Collision correction.**  The burst ends with the first interaction that
    re-uses an agent.  That interaction is applied *exactly*: the colliding
    slot is resolved to a uniformly random already-touched agent (whose state
-   reflects the burst's updates), the other slot to a fresh pool draw,
-   matching the conditional distribution of the sequential process.
+   reflects the burst's updates), the other slot to a fresh draw from the
+   untouched agents, matching the conditional distribution of the sequential
+   process.
 
 The induced Markov chain over configurations is therefore *identical* to
 :class:`ConfigurationSimulation`'s (and to the agent engine's under the
-uniform random scheduler); ``tests/simulation/test_batch_engine.py`` checks
-the agreement distributionally and ``tests/integration/test_engine_agreement``
+uniform random scheduler) on every path; ``tests/simulation/test_batch_engine.py``
+checks the agreement distributionally and ``tests/integration/test_engine_agreement``
 checks that all engines settle in the configuration predicted by Lemma 3.6.
 Convergence checks are amortized per burst through the shared
 :meth:`~repro.simulation.base.SimulationEngine.run` loop, which makes
@@ -40,7 +46,9 @@ E6-scale convergence sweeps tractable at ``n = 10^5``–``10^6``.
 
 Like every stochastic component of the library, Bernoulli and index draws are
 resolved through ``random.Random.random()`` (53-bit resolution, the same
-convention as :func:`repro.utils.rng.weighted_choice`).
+convention as :func:`repro.utils.rng.weighted_choice`); the numpy path
+additionally derives a ``numpy.random.Generator`` from the engine seed for
+its bulk draws.
 """
 
 from __future__ import annotations
@@ -55,12 +63,28 @@ from repro.simulation.base import ConfigurationEngine, TransitionObserver
 from repro.utils.multiset import Multiset
 from repro.utils.rng import RngLike
 
+try:  # numpy accelerates the compiled burst path; everything works without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    _np = None
+
 State = TypeVar("State", bound=Hashable)
 
 #: Below this population size a burst is shorter than its bookkeeping, so the
 #: engine samples interactions one at a time (still exactly, still through the
-#: pool and the memoized transition table).
+#: pool and the transition table).
 SEQUENTIAL_FALLBACK_THRESHOLD = 16
+
+#: Population size from which the vectorized counts-vector burst path beats
+#: the pool path: numpy call overhead is per burst, so it amortizes over the
+#: ``Θ(√n)`` burst length only once bursts are long enough (measured
+#: crossover is near n = 4096 for Circles-sized tables).
+NUMPY_BURST_THRESHOLD = 4096
+
+#: Largest packed-pair-code space aggregated by direct ``bincount`` binning;
+#: bigger tables use a sort-based ``unique`` instead of allocating a d²
+#: histogram per burst.
+BINCOUNT_CODE_LIMIT = 16_384
 
 
 class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
@@ -74,16 +98,42 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
         initial: Iterable[State] | Multiset[State],
         seed: RngLike = None,
         transition_observer: TransitionObserver | None = None,
+        compiled: bool | None = None,
     ) -> None:
-        super().__init__(protocol, initial, seed, transition_observer=transition_observer)
-        #: Flat pool of agent states; random pops are O(1) via swap-remove.
-        self._pool: list[State] = list(self._configuration.elements())
+        super().__init__(
+            protocol, initial, seed, transition_observer=transition_observer, compiled=compiled
+        )
         self._transition_cache: dict[tuple[State, State], TransitionResult[State]] = {}
         self._neg_survival: list[float] | None = None
+        self._np_rng = None
+        self._pool: list | None = None
+        use_numpy = (
+            self._compiled is not None
+            and _np is not None
+            and self._num_agents >= NUMPY_BURST_THRESHOLD
+            and self._compiled.numpy_tables() is not None
+        )
+        if use_numpy:
+            # Counts-vector representation: the burst machinery works on the
+            # vector directly, so no agent pool is materialized at all.
+            self._counts = _np.array(self._counts, dtype=_np.int64)
+            self._np_rng = _np.random.default_rng(self._rng.getrandbits(63))
+            self._state_ids = _np.arange(self._compiled.num_states)
+            self._touched_counts = _np.zeros(self._compiled.num_states, dtype=_np.int64)
+        elif self._compiled is not None:
+            #: Flat pool of encoded agent states; random pops are O(1).
+            pool: list[int] = []
+            for code, count in enumerate(self._counts):
+                pool.extend([code] * count)
+            self._pool = pool
+        else:
+            #: Flat pool of agent states; random pops are O(1) via swap-remove.
+            self._pool = list(self._configuration.elements())
 
-    # -- memoized transition table ---------------------------------------------
+    # -- transition evaluation ---------------------------------------------------
 
     def _transition(self, initiator: State, responder: State) -> TransitionResult[State]:
+        """Memoized Python-dispatch transition (uncompiled path only)."""
         key = (initiator, responder)
         result = self._transition_cache.get(key)
         if result is None:
@@ -91,13 +141,25 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
             self._transition_cache[key] = result
         return result
 
+    def _apply_pair(self, initiator, responder, count: int):
+        """Transition one ordered pool pair type, book it, return the results."""
+        if self._compiled is not None:
+            a, b, changed = self._compiled.transition_codes(initiator, responder)
+            if changed:
+                self._book_changed_codes(initiator, responder, a, b, count)
+            return a, b
+        result = self._transition(initiator, responder)
+        if result.changed:
+            self._apply_changed_transition(initiator, responder, result, count)
+        return result.initiator, result.responder
+
     # -- sampling primitives ------------------------------------------------------
 
     def _random_index(self, size: int) -> int:
         index = int(self._rng.random() * size)
         return size - 1 if index >= size else index
 
-    def _pop_random(self) -> State:
+    def _pop_random(self):
         """Remove and return a uniformly random pool entry in O(1)."""
         pool = self._pool
         index = self._random_index(len(pool))
@@ -107,6 +169,22 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
             pool[index] = last
             return state
         return last
+
+    def _pop_weighted(self, counts, total: int) -> int:
+        """Draw (and remove) one encoded agent proportionally to ``counts``.
+
+        ``total`` is the caller-tracked sum of ``counts`` (the vectors are
+        small, but the collision step runs once per burst and tracking the
+        totals is cheaper than re-summing).
+        """
+        target = self._rng.randrange(total)
+        cumulative = 0
+        for code, count in enumerate(counts):
+            cumulative += count
+            if target < cumulative:
+                counts[code] -= 1
+                return code
+        raise RuntimeError("sampling failed: count vector is inconsistent")
 
     def _sample_burst_length(self, cap: int) -> tuple[int, tuple[bool, bool] | None]:
         """Sample how many interactions precede the burst's first collision.
@@ -166,6 +244,106 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
         agents, applied in bulk per ordered pair type, plus (when the cap
         allows) the collision interaction that ends it.
         """
+        if self._np_rng is not None:
+            return self._run_burst_counts(max_interactions)
+        return self._run_burst_pool(max_interactions)
+
+    def _run_burst_counts(self, max_interactions: int | None) -> int:
+        """The numpy counts-vector burst: vectorized draw, pair, and apply."""
+        cap = self._num_agents if max_interactions is None else max_interactions
+        if cap <= 0:
+            return 0
+        length, collision = self._sample_burst_length(cap)
+        compiled = self._compiled
+        d = compiled.num_states
+        table_np, changed_np, _ = compiled.numpy_tables()
+        counts = self._counts
+
+        # The burst's 2·length agents are a uniform draw without replacement
+        # from the configuration: exactly a multivariate-hypergeometric
+        # composition of the count vector.  A uniform shuffle of that
+        # composition then realizes the uniformly random ordered pairing.
+        composition = self._np_rng.multivariate_hypergeometric(counts, 2 * length)
+        counts -= composition
+        drawn = _np.repeat(self._state_ids, composition)
+        self._np_rng.shuffle(drawn)
+        codes = drawn[0::2] * d + drawn[1::2]
+        # Aggregate ordered pair types: direct binning over the d² code space
+        # beats a sort-based unique while the histogram stays small.
+        if d * d <= BINCOUNT_CODE_LIMIT:
+            pair_vector = _np.bincount(codes, minlength=d * d)
+            unique = _np.nonzero(pair_vector)[0]
+            pair_counts = pair_vector[unique]
+        else:
+            unique, pair_counts = _np.unique(codes, return_counts=True)
+        results = table_np[unique]
+        changed = changed_np[unique]
+        a_codes = results // d
+        b_codes = results % d
+
+        #: Post-transition states of the agents touched by this burst, as an
+        #: index-aligned count vector (they rejoin `counts` after the
+        #: collision correction).
+        touched = self._touched_counts
+        touched[:] = 0
+        _np.add.at(touched, a_codes, pair_counts)
+        _np.add.at(touched, b_codes, pair_counts)
+
+        if self.transition_observer is None:
+            self.interactions_changed += int(pair_counts[changed].sum())
+        else:
+            # The observer contract wants one decoded call per pair type.
+            for code, a, b, count, did_change in zip(
+                unique.tolist(),
+                a_codes.tolist(),
+                b_codes.tolist(),
+                pair_counts.tolist(),
+                changed.tolist(),
+            ):
+                if did_change:
+                    p, q = divmod(code, d)
+                    self._record_changed_codes(p, q, a, b, count)
+
+        executed = length
+        if collision is not None:
+            executed += self._collision_step_counts(touched, collision, length)
+        counts += touched
+        self.steps_taken += executed
+        return executed
+
+    def _collision_step_counts(
+        self, touched, collision: tuple[bool, bool], length: int
+    ) -> int:
+        """Apply the burst-ending collision on the count-vector representation.
+
+        A touched slot resolves to a uniformly random already-touched agent
+        (drawn out of — and its result returned to — the ``touched`` vector);
+        a fresh slot to a uniform draw from the untouched agents remaining in
+        ``counts``.  Exactly the conditional distribution of the sequential
+        process given the sampled collision pattern.
+        """
+        initiator_touched, responder_touched = collision
+        touched_total = 2 * length
+        fresh_total = self._num_agents - touched_total
+        if initiator_touched:
+            initiator = self._pop_weighted(touched, touched_total)
+            touched_total -= 1
+        else:
+            initiator = self._pop_weighted(self._counts, fresh_total)
+            fresh_total -= 1
+        if responder_touched:
+            responder = self._pop_weighted(touched, touched_total)
+        else:
+            responder = self._pop_weighted(self._counts, fresh_total)
+        a, b, changed = self._compiled.transition_codes(initiator, responder)
+        if changed:
+            self._record_changed_codes(initiator, responder, a, b, 1)
+        touched[a] += 1
+        touched[b] += 1
+        return 1
+
+    def _run_burst_pool(self, max_interactions: int | None) -> int:
+        """The pool burst: O(1) random pops, pair-type aggregation, bulk apply."""
         cap = self._num_agents if max_interactions is None else max_interactions
         if cap <= 0:
             return 0
@@ -177,7 +355,7 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
         # into per-pair-type counts by Counter's C-level counting loop.
         pool = self._pool
         rng_random = self._rng.random
-        pairs: list[tuple[State, State]] = []
+        pairs: list[tuple] = []
         append_pair = pairs.append
         size = len(pool)
         for _ in range(length):
@@ -202,22 +380,20 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
 
         #: Current states of the agents touched by this burst (one entry per
         #: distinct agent, updated as transitions apply).
-        touched: list[State] = []
+        touched: list = []
         for (initiator, responder), count in pair_counts.items():
-            result = self._transition(initiator, responder)
-            if result.changed:
-                self._apply_changed_transition(initiator, responder, result, count)
-            touched.extend([result.initiator] * count)
-            touched.extend([result.responder] * count)
+            new_initiator, new_responder = self._apply_pair(initiator, responder, count)
+            touched.extend([new_initiator] * count)
+            touched.extend([new_responder] * count)
 
         executed = length
         if collision is not None:
-            executed += self._collision_step(touched, collision)
+            executed += self._collision_step_pool(touched, collision)
         self._pool.extend(touched)
         self.steps_taken += executed
         return executed
 
-    def _collision_step(self, touched: list[State], collision: tuple[bool, bool]) -> int:
+    def _collision_step_pool(self, touched: list, collision: tuple[bool, bool]) -> int:
         """Apply the interaction that ends the burst by re-using an agent.
 
         A touched slot resolves to a uniformly random already-touched agent
@@ -245,17 +421,15 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
         else:
             responder = self._pop_random()
 
-        result = self._transition(initiator, responder)
-        if result.changed:
-            self._apply_changed_transition(initiator, responder, result, 1)
+        new_initiator, new_responder = self._apply_pair(initiator, responder, 1)
         if initiator_index is not None:
-            touched[initiator_index] = result.initiator
+            touched[initiator_index] = new_initiator
         else:
-            touched.append(result.initiator)
+            touched.append(new_initiator)
         if responder_index is not None:
-            touched[responder_index] = result.responder
+            touched[responder_index] = new_responder
         else:
-            touched.append(result.responder)
+            touched.append(new_responder)
         return 1
 
     def _sequential_step(self) -> None:
@@ -267,11 +441,18 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
         if second >= first:
             second += 1
         initiator, responder = pool[first], pool[second]
-        result = self._transition(initiator, responder)
-        if result.changed:
-            pool[first] = result.initiator
-            pool[second] = result.responder
-            self._apply_changed_transition(initiator, responder, result, 1)
+        if self._compiled is not None:
+            a, b, changed = self._compiled.transition_codes(initiator, responder)
+            if changed:
+                pool[first] = a
+                pool[second] = b
+                self._book_changed_codes(initiator, responder, a, b, 1)
+        else:
+            result = self._transition(initiator, responder)
+            if result.changed:
+                pool[first] = result.initiator
+                pool[second] = result.responder
+                self._apply_changed_transition(initiator, responder, result, 1)
         self.steps_taken += 1
 
     def _advance(self, max_interactions: int) -> int:
@@ -285,4 +466,9 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
 
     def states(self) -> list[State]:
         """The current agent states (anonymous, so order carries no meaning)."""
+        if self._pool is None:
+            return super().states()
+        if self._compiled is not None:
+            decode = self._compiled.decode
+            return [decode(code) for code in self._pool]
         return list(self._pool)

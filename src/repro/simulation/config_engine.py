@@ -10,9 +10,17 @@ makes populations of 10^5–10^6 agents cheap to simulate; for still larger
 budgets see the batched engine in :mod:`repro.simulation.batch_engine`,
 which samples the same chain in bursts.
 
-The engine is *exact*: its induced Markov chain over configurations is the
-same as the agent-level engine's under :class:`UniformRandomScheduler`; a
-dedicated integration test checks the agreement distributionally.
+By default the engine runs *compiled* (see :mod:`repro.compile`): the
+configuration is an integer count vector indexed by the protocol's reachable
+state space and each interaction is one flat-table lookup plus four index
+updates — no Python dispatch through ``transition`` and no hashing of state
+objects.  ``compiled=False`` (or a δ-closure above the compile cap) selects
+the original multiset path.
+
+The engine is *exact* either way: its induced Markov chain over
+configurations is the same as the agent-level engine's under
+:class:`UniformRandomScheduler`; a dedicated integration test checks the
+agreement distributionally.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ class ConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
     # -- sampling ------------------------------------------------------------------
 
     def _sample_state(self, exclude: State | None = None) -> State:
-        """Sample one agent's state proportionally to its count.
+        """Sample one agent's state proportionally to its count (uncompiled path).
 
         When ``exclude`` is given, one copy of that state is set aside first
         (the initiator already drawn), so the responder is sampled from the
@@ -49,17 +57,39 @@ class ConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
                 return state
         raise RuntimeError("sampling failed: configuration counts are inconsistent")
 
+    def _sample_code(self, exclude: int | None = None) -> int:
+        """Sample one agent's encoded state from the count vector (compiled path)."""
+        total = self._num_agents - (1 if exclude is not None else 0)
+        target = self._rng.randrange(total)
+        cumulative = 0
+        for code, count in enumerate(self._counts):
+            if exclude is not None and exclude == code:
+                count -= 1
+            cumulative += count
+            if target < cumulative:
+                return code
+        raise RuntimeError("sampling failed: count vector is inconsistent")
+
     # -- stepping -------------------------------------------------------------------
 
     def step(self) -> bool:
         """Execute one uniformly random interaction; return whether it changed anything."""
-        initiator = self._sample_state()
-        responder = self._sample_state(exclude=initiator)
-        result = self.protocol.transition(initiator, responder)
-        if result.changed:
-            self._apply_changed_transition(initiator, responder, result, 1)
+        compiled = self._compiled
+        if compiled is None:
+            initiator = self._sample_state()
+            responder = self._sample_state(exclude=initiator)
+            result = self.protocol.transition(initiator, responder)
+            if result.changed:
+                self._apply_changed_transition(initiator, responder, result, 1)
+            self.steps_taken += 1
+            return result.changed
+        p = self._sample_code()
+        q = self._sample_code(exclude=p)
+        a, b, changed = compiled.transition_codes(p, q)
+        if changed:
+            self._book_changed_codes(p, q, a, b, 1)
         self.steps_taken += 1
-        return result.changed
+        return changed
 
     def _advance(self, max_interactions: int) -> int:
         for _ in range(max_interactions):

@@ -13,6 +13,7 @@ from collections.abc import Callable, Hashable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Generic, TypeVar
 
+from repro.compile import StateSpaceCapExceeded, compile_from_states
 from repro.protocols.base import PopulationProtocol
 from repro.scheduling.base import Scheduler
 from repro.simulation.base import SimulationEngine
@@ -56,6 +57,7 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
         trace: Trace | None = None,
         metrics: Mapping[str, MetricFn] | None = None,
         transition_observer=None,
+        compiled: bool = False,
     ) -> None:
         """Create the simulation.
 
@@ -73,6 +75,12 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
                 interaction that changed at least one state (``count`` is
                 always 1 for this engine) — the same contract as the
                 configuration-level engines.
+            compiled: when True, evaluate ``δ`` through the protocol's
+                compiled transition table (:mod:`repro.compile`) instead of
+                Python dispatch.  Off by default — the agent engine exists
+                for arbitrary schedulers and per-step instrumentation, where
+                compilation matters less — and silently disabled when the
+                protocol's δ-closure exceeds the compile cap.
         """
         self.protocol = protocol
         self.population = (
@@ -89,6 +97,14 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
         self.transition_observer = transition_observer
         self.steps_taken = 0
         self.interactions_changed = 0
+        self._compiled = None
+        if compiled:
+            try:
+                self._compiled = compile_from_states(
+                    protocol, set(self.population.states())
+                )
+            except StateSpaceCapExceeded:
+                self._compiled = None
 
     @classmethod
     def from_colors(
@@ -100,6 +116,7 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
         trace: Trace | None = None,
         metrics: Mapping[str, MetricFn] | None = None,
         transition_observer=None,
+        compiled: bool = False,
     ) -> "AgentSimulation[State]":
         """Create the initial population from input colors.
 
@@ -120,6 +137,7 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
             trace=trace,
             metrics=metrics,
             transition_observer=transition_observer,
+            compiled=compiled,
         )
 
     # -- stepping ---------------------------------------------------------------
@@ -130,7 +148,10 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
         pair = self.scheduler.next_pair(self.steps_taken, states)
         initiator_index, responder_index = pair
         before = (states[initiator_index], states[responder_index])
-        result = self.protocol.transition(*before)
+        if self._compiled is not None:
+            result = self._compiled.transition_states(*before)
+        else:
+            result = self.protocol.transition(*before)
         after = result.as_pair()
         if result.changed:
             states[initiator_index] = result.initiator

@@ -27,6 +27,7 @@ from repro.simulation.base import SimulationEngine
 from repro.simulation.batch_engine import BatchConfigurationSimulation
 from repro.simulation.config_engine import ConfigurationSimulation
 from repro.simulation.engine import AgentSimulation
+from repro.utils.errors import unknown_name_error
 
 #: Registry of engine name -> engine class.
 ENGINES: dict[str, type[SimulationEngine]] = {
@@ -45,11 +46,10 @@ def get_engine(name: str) -> type[SimulationEngine]:
     """Resolve an engine name to its class.
 
     Raises:
-        ValueError: for unknown names, listing the available ones.
+        KeyError: for unknown names, listing the available ones (the shared
+            registry error contract of :mod:`repro.utils.errors`).
     """
     try:
         return ENGINES[name]
     except KeyError:
-        raise ValueError(
-            f"unknown engine {name!r}; available engines: {', '.join(available_engines())}"
-        ) from None
+        raise unknown_name_error("engine", name, ENGINES) from None

@@ -165,8 +165,14 @@ def _build_simulation(
     seed: RngLike,
     record_trace: bool,
     transition_observer=None,
+    compiled: bool | None = None,
 ) -> tuple[SimulationEngine[State], Trace | None, str]:
-    """Construct the selected engine; returns (simulation, trace, scheduler name)."""
+    """Construct the selected engine; returns (simulation, trace, scheduler name).
+
+    ``compiled=None`` leaves each engine on its own default: the
+    configuration-level engines compile transparently, the agent engine does
+    not (it exists for arbitrary schedulers and per-step instrumentation).
+    """
     if issubclass(engine_cls, AgentSimulation):
         trace = Trace() if record_trace else None
         simulation = engine_cls.from_colors(
@@ -176,10 +182,11 @@ def _build_simulation(
             scheduler=scheduler,
             trace=trace,
             transition_observer=transition_observer,
+            compiled=bool(compiled),
         )
         return simulation, trace, simulation.scheduler.name
     simulation = engine_cls.from_colors(
-        protocol, colors, seed=seed, transition_observer=transition_observer
+        protocol, colors, seed=seed, transition_observer=transition_observer, compiled=compiled
     )
     return simulation, None, "uniform-random"
 
@@ -194,6 +201,7 @@ def run_protocol(
     record_trace: bool = False,
     check_interval: int | None = None,
     engine: str = "agent",
+    compiled: bool | None = None,
 ) -> RunResult:
     """Run any population protocol on an input color assignment.
 
@@ -214,6 +222,10 @@ def run_protocol(
             defaults to :func:`~repro.simulation.base.default_check_interval`.
         engine: engine registry name — ``"agent"``, ``"configuration"`` or
             ``"batch"``.
+        compiled: whether the engine runs on compiled transition tables
+            (:mod:`repro.compile`).  ``None`` keeps each engine's default
+            (configuration-level engines compile, the agent engine does not);
+            ``False`` forces the uncompiled path, e.g. for benchmarks.
 
     Returns:
         A :class:`RunResult`; ``correct`` is True when the input has a unique
@@ -229,7 +241,7 @@ def run_protocol(
     )
 
     simulation, trace, scheduler_name = _build_simulation(
-        engine_cls, protocol, colors, scheduler, seed, record_trace
+        engine_cls, protocol, colors, scheduler, seed, record_trace, compiled=compiled
     )
     converged = simulation.run(budget, criterion=criterion, check_interval=check_interval)
     outputs = tuple(simulation.outputs())
@@ -264,6 +276,7 @@ def run_circles(
     record_trace: bool = False,
     check_interval: int | None = None,
     engine: str = "agent",
+    compiled: bool | None = None,
 ) -> RunResult:
     """Run the Circles protocol on an input color assignment.
 
@@ -277,8 +290,8 @@ def run_circles(
         scheduler: defaults to a seeded :class:`RandomPermutationScheduler`;
             only the ``"agent"`` engine accepts one.
         variant: ablation switches; defaults to the paper's protocol.
-        max_steps / seed / record_trace / check_interval / engine: as in
-            :func:`run_protocol`.
+        max_steps / seed / record_trace / check_interval / engine / compiled:
+            as in :func:`run_protocol`.
     """
     colors = tuple(colors)
     _validate_input_colors(colors)
@@ -306,7 +319,14 @@ def run_circles(
             ket_exchanges += count
 
     simulation, trace, scheduler_name = _build_simulation(
-        engine_cls, protocol, colors, scheduler, seed, record_trace, transition_observer=observe
+        engine_cls,
+        protocol,
+        colors,
+        scheduler,
+        seed,
+        record_trace,
+        transition_observer=observe,
+        compiled=compiled,
     )
     converged = simulation.run(budget, criterion=criterion, check_interval=check_interval)
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator
 
+from repro.utils.errors import unknown_name_error
 from repro.utils.rng import RngLike
 from repro.workloads import distributions
 
@@ -61,8 +62,7 @@ class WorkloadRegistry:
         try:
             return self._generators[_canonical(name)]
         except KeyError:
-            known = ", ".join(self.names()) or "<none>"
-            raise KeyError(f"unknown workload {name!r}; available: {known}") from None
+            raise unknown_name_error("workload", name, self._generators) from None
 
     def generate(
         self,

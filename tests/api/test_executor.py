@@ -99,7 +99,7 @@ class TestRegistries:
             build_criterion("nope")
         with pytest.raises(ValueError, match="unknown scheduler"):
             build_scheduler("nope", 8)
-        with pytest.raises(ValueError, match="unknown runner"):
+        with pytest.raises(KeyError, match="unknown runner"):
             get_runner("nope")
         with pytest.raises(KeyError, match="unknown workload"):
             execute_run(RunSpec(protocol="circles", n=8, k=2, workload="nope"))
@@ -165,3 +165,42 @@ class TestProtocolRunner:
                 RunSpec(protocol="circles", n=8, k=2, engine="batch",
                         scheduler="uniform-random", seed=1)
             )
+
+
+class TestCompiledKnob:
+    """The RunSpec `compiled` knob travels through the executor (satellite)."""
+
+    def test_compiled_defaults_to_engine_default(self):
+        spec = RunSpec(protocol="circles", n=10, k=2, engine="batch", seed=3,
+                       max_steps=2_000)
+        assert spec.compiled is None
+        record = execute_run(spec)
+        assert record.steps <= 2_000
+
+    @pytest.mark.parametrize("engine", ["agent", "configuration", "batch"])
+    def test_compiled_false_still_produces_a_correct_record(self, engine):
+        spec = RunSpec(protocol="circles", n=10, k=2, engine=engine, seed=7,
+                       max_steps=50_000, compiled=False)
+        record = execute_run(spec)
+        assert record.correct
+
+    def test_compiled_runs_match_uncompiled_runs_in_outcome(self):
+        base = RunSpec(protocol="exact-majority", n=12, k=2, engine="configuration",
+                       seed=5, criterion="output-consensus", max_steps=50_000)
+        compiled_record = execute_run(base)
+        uncompiled_record = execute_run(
+            RunSpec(**{**base.to_dict(), "compiled": False})
+        )
+        assert compiled_record.correct and uncompiled_record.correct
+        assert compiled_record.num_agents == uncompiled_record.num_agents
+
+    def test_compiled_roundtrips_through_json(self):
+        spec = RunSpec(protocol="circles", n=8, k=2, compiled=False)
+        assert RunSpec.from_json(spec.to_json()).compiled is False
+        spec = RunSpec(protocol="circles", n=8, k=2)
+        assert RunSpec.from_json(spec.to_json()).compiled is None
+
+    def test_old_specs_without_the_field_still_load(self):
+        data = RunSpec(protocol="circles", n=8, k=2).to_dict()
+        del data["compiled"]
+        assert RunSpec.from_dict(data).compiled is None

@@ -1,0 +1,166 @@
+"""Property-based checks on compiled transition tables.
+
+For **every protocol in the registry**: random state pairs drawn from the
+enumerated space must satisfy ``table[encode(p, q)] == δ(p, q)`` (including
+the ``changed`` flag), and ``decode ∘ encode`` must be the identity over the
+whole space.  Any protocol added to the registry is fuzzed by registration
+alone.
+"""
+
+import random
+
+import pytest
+
+import repro  # noqa: F401  (populates the default protocol registry)
+from repro.compile import (
+    StateSpaceCapExceeded,
+    compile_from_states,
+    compile_protocol,
+)
+from repro.core.circles import CirclesProtocol
+from repro.protocols.registry import DEFAULT_REGISTRY
+
+PROTOCOL_NAMES = DEFAULT_REGISTRY.names()
+
+FUZZ_PAIRS = 300
+
+
+@pytest.fixture(scope="module")
+def compiled_protocols(make_registry_protocol):
+    """One (protocol, compiled) pair per registry entry, compiled once."""
+    pairs = []
+    for name in PROTOCOL_NAMES:
+        protocol = make_registry_protocol(name)
+        pairs.append((name, protocol, compile_protocol(protocol)))
+    return pairs
+
+
+class TestEveryRegisteredProtocol:
+    def test_registry_is_not_empty(self):
+        assert PROTOCOL_NAMES
+
+    def test_decode_encode_is_the_identity(self, compiled_protocols):
+        for name, _protocol, compiled in compiled_protocols:
+            for code, state in enumerate(compiled.states):
+                assert compiled.encode(state) == code, name
+                assert compiled.decode(code) == state, name
+
+    def test_random_pairs_match_delta(self, compiled_protocols):
+        rng = random.Random(2025)
+        for name, protocol, compiled in compiled_protocols:
+            d = compiled.num_states
+            for _ in range(FUZZ_PAIRS):
+                p = rng.randrange(d)
+                q = rng.randrange(d)
+                expected = protocol.transition(compiled.decode(p), compiled.decode(q))
+                a, b, changed = compiled.transition_codes(p, q)
+                assert compiled.decode(a) == expected.initiator, name
+                assert compiled.decode(b) == expected.responder, name
+                assert changed == expected.changed, name
+
+    def test_transition_states_matches_delta(self, compiled_protocols):
+        rng = random.Random(7)
+        for name, protocol, compiled in compiled_protocols:
+            for _ in range(50):
+                initiator = rng.choice(compiled.states)
+                responder = rng.choice(compiled.states)
+                expected = protocol.transition(initiator, responder)
+                result = compiled.transition_states(initiator, responder)
+                assert result.as_pair() == expected.as_pair(), name
+                assert result.changed == expected.changed, name
+
+    def test_outputs_match_the_output_map(self, compiled_protocols):
+        for name, protocol, compiled in compiled_protocols:
+            for code, state in enumerate(compiled.states):
+                assert compiled.output_of(code) == protocol.output(state), name
+            assert compiled.output_colors() == {
+                protocol.output(state) for state in compiled.states
+            }, name
+
+    def test_initial_indices_decode_to_initial_states(self, compiled_protocols):
+        for name, protocol, compiled in compiled_protocols:
+            for color in range(protocol.num_colors):
+                index = compiled.initial_index(color)
+                assert compiled.decode(index) == protocol.initial_state(color), name
+
+
+class TestCompileCache:
+    def test_same_protocol_and_colors_compile_once(self):
+        protocol = CirclesProtocol(3)
+        assert compile_protocol(protocol) is compile_protocol(protocol)
+        assert compile_protocol(protocol, [0, 1]) is compile_protocol(protocol, [1, 0, 0])
+
+    def test_equal_signature_instances_share_tables(self):
+        """Registry sweeps build a fresh instance per run; tables are shared."""
+        assert compile_protocol(CirclesProtocol(3)) is compile_protocol(CirclesProtocol(3))
+
+    def test_distinct_signatures_compile_separately(self):
+        from repro.core.circles import CirclesVariant, ExchangeRule
+
+        paper = compile_protocol(CirclesProtocol(3))
+        ablated = compile_protocol(
+            CirclesProtocol(3, variant=CirclesVariant(exchange_rule=ExchangeRule.SUM_WEIGHT))
+        )
+        assert paper is not ablated
+
+    def test_signature_free_protocols_cache_per_instance(self):
+        class Anonymous(CirclesProtocol):
+            def compile_signature(self):
+                return None
+
+        assert compile_protocol(Anonymous(2)) is not compile_protocol(Anonymous(2))
+
+    def test_cap_applies_to_cache_hits_too(self):
+        protocol = CirclesProtocol(3)
+        compiled = compile_protocol(protocol)
+        with pytest.raises(StateSpaceCapExceeded):
+            compile_protocol(protocol, max_states=compiled.num_states - 1)
+
+    def test_cache_hit_matches_cold_call_when_seeds_alone_exceed_the_cap(self):
+        """Seeds never count against the cap — on cache hits either.
+
+        Regression: a closure made of seeds only used to compile on the cold
+        call but raise on the identical warm call, flipping engine selection
+        between runs.
+        """
+        from repro.protocols.approximate_majority import ApproximateMajorityProtocol
+
+        protocol = ApproximateMajorityProtocol()
+        seeds = list(protocol.states())
+        first = compile_from_states(protocol, seeds, max_states=1)
+        second = compile_from_states(protocol, seeds, max_states=1)
+        assert first is second
+        assert first.num_states == 3
+
+    def test_cap_exceeded_is_cached_but_retried_at_a_larger_cap(self):
+        class Cold(CirclesProtocol):  # fresh per-instance cache, no signature
+            def compile_signature(self):
+                return None
+
+        protocol = Cold(3)
+        with pytest.raises(StateSpaceCapExceeded):
+            compile_protocol(protocol, max_states=4)
+        # The negative entry answers smaller caps without re-enumerating...
+        with pytest.raises(StateSpaceCapExceeded):
+            compile_protocol(protocol, max_states=3)
+        # ...and a larger cap retries and succeeds.
+        assert compile_protocol(protocol).num_states > 4
+
+
+class TestConversions:
+    def test_counts_multiset_roundtrip(self):
+        protocol = CirclesProtocol(2)
+        compiled = compile_protocol(protocol)
+        counts = [0] * compiled.num_states
+        counts[0] = 3
+        counts[compiled.num_states - 1] = 2
+        multiset = compiled.counts_to_multiset(counts)
+        assert len(multiset) == 5
+        assert compiled.multiset_to_counts(multiset) == counts
+
+    def test_compile_from_states_covers_the_seed_closure(self):
+        protocol = CirclesProtocol(3)
+        seeds = {protocol.initial_state(0), protocol.initial_state(1)}
+        compiled = compile_from_states(protocol, seeds)
+        assert seeds <= set(compiled.states)
+        assert compiled.num_states == len(set(compiled.states))

@@ -1,4 +1,4 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures, statistical helpers and hypothesis strategies."""
 
 from __future__ import annotations
 
@@ -7,6 +7,75 @@ from hypothesis import strategies as st
 
 from repro.core.braket import BraKet
 from repro.core.circles import CirclesProtocol
+
+# 99.9th percentiles of the chi-squared distribution by degrees of freedom;
+# generous so seeded distributional-agreement tests are meaningful but not
+# knife-edged.
+_CHI2_999 = {
+    1: 10.83, 2: 13.82, 3: 16.27, 4: 18.47, 5: 20.52, 6: 22.46, 7: 24.32,
+    8: 26.12, 9: 27.88, 10: 29.59, 11: 31.26, 12: 32.91, 13: 34.53,
+    14: 36.12, 15: 37.70, 16: 39.25, 17: 40.79, 18: 42.31, 19: 43.82,
+    20: 45.31,
+}
+
+
+def _chi_squared(first: dict, second: dict) -> tuple[float, float]:
+    """The two-sample chi-squared statistic and its 99.9% critical value.
+
+    Bins observed fewer than 10 times in total are pooled (standard practice
+    for validity of the chi-squared approximation).
+    """
+    keys = sorted(set(first) | set(second))
+    bins: list[tuple[int, int]] = []
+    acc_first = acc_second = 0
+    for key in keys:
+        acc_first += first.get(key, 0)
+        acc_second += second.get(key, 0)
+        if acc_first + acc_second >= 10:
+            bins.append((acc_first, acc_second))
+            acc_first = acc_second = 0
+    if acc_first + acc_second:
+        if bins:
+            last_first, last_second = bins.pop()
+            bins.append((last_first + acc_first, last_second + acc_second))
+        else:
+            bins.append((acc_first, acc_second))
+    total_first = sum(count for count, _ in bins)
+    total_second = sum(count for _, count in bins)
+    total = total_first + total_second
+    statistic = 0.0
+    for count_first, count_second in bins:
+        row = count_first + count_second
+        expected_first = row * total_first / total
+        expected_second = row * total_second / total
+        statistic += (count_first - expected_first) ** 2 / expected_first
+        statistic += (count_second - expected_second) ** 2 / expected_second
+    df = max(1, len(bins) - 1)
+    return statistic, _CHI2_999[min(df, max(_CHI2_999))]
+
+
+@pytest.fixture(scope="session")
+def two_sample_chi_squared():
+    """``(histogram, histogram) -> (statistic, 99.9% critical value)``."""
+    return _chi_squared
+
+
+def _registry_protocol(name: str):
+    """Instantiate a registry protocol with a color count it accepts."""
+    from repro.protocols.registry import DEFAULT_REGISTRY
+
+    for k in (2, 3, 1):
+        try:
+            return DEFAULT_REGISTRY.create(name, k)
+        except ValueError:
+            continue
+    pytest.skip(f"no supported color count found for protocol {name!r}")
+
+
+@pytest.fixture(scope="session")
+def make_registry_protocol():
+    """``name -> protocol`` for registry-wide parametrized suites."""
+    return _registry_protocol
 
 
 @pytest.fixture

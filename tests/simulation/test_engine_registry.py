@@ -29,7 +29,7 @@ class TestRegistry:
             assert issubclass(engine_cls, SimulationEngine)
 
     def test_unknown_name_lists_available_engines(self):
-        with pytest.raises(ValueError, match="agent, batch, configuration"):
+        with pytest.raises(KeyError, match="agent, batch, configuration"):
             get_engine("warp-drive")
 
 

@@ -184,7 +184,7 @@ class TestEngineSelection:
         assert len(outcome.outputs) == 5
 
     def test_unknown_engine_rejected(self):
-        with pytest.raises(ValueError, match="unknown engine"):
+        with pytest.raises(KeyError, match="unknown engine"):
             run_circles([0, 0, 1], engine="warp-drive")
 
     def test_scheduler_requires_agent_engine(self):
