@@ -10,7 +10,10 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import platform
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -18,6 +21,10 @@ import pytest
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+#: Machine-readable perf log, appended to by ``--perf`` runs so the
+#: performance trajectory is tracked across PRs.
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
 
 
 @pytest.fixture
@@ -36,3 +43,48 @@ def run_experiment_once(benchmark):
         return result
 
     return _run
+
+
+@pytest.fixture
+def record_perf(request):
+    """Append a machine-readable timing entry to ``BENCH_results.json``.
+
+    Only ``--perf`` runs record (the wall-clock comparisons are skipped
+    otherwise, so the fixture is effectively perf-gated); each entry carries
+    the bench name, the population size, the engine, the measured seconds,
+    the speedup over the bench's own baseline and enough provenance (python
+    version, timestamp) to chart the perf trajectory across PRs.
+    """
+
+    def _record(
+        bench: str,
+        *,
+        n: int,
+        engine: str,
+        seconds: float,
+        speedup: float | None = None,
+        baseline_seconds: float | None = None,
+    ) -> None:
+        if not request.config.getoption("--perf"):
+            return
+        entry = {
+            "bench": bench,
+            "n": n,
+            "engine": engine,
+            "seconds": round(seconds, 4),
+            "speedup": None if speedup is None else round(speedup, 2),
+            "baseline_seconds": (
+                None if baseline_seconds is None else round(baseline_seconds, 4)
+            ),
+            "python": platform.python_version(),
+            "timestamp": int(time.time()),
+        }
+        history = (
+            json.loads(BENCH_RESULTS_PATH.read_text())
+            if BENCH_RESULTS_PATH.exists()
+            else []
+        )
+        history.append(entry)
+        BENCH_RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    return _record

@@ -50,7 +50,7 @@ def test_batch_engine_simulates_large_populations():
 
 
 @pytest.mark.perf
-def test_batch_engine_is_5x_faster_than_configuration_engine():
+def test_batch_engine_is_5x_faster_than_configuration_engine(record_perf):
     protocol = CirclesProtocol(K)
     colors = planted_majority(N, K, seed=5)
     budget = 200_000
@@ -70,6 +70,14 @@ def test_batch_engine_is_5x_faster_than_configuration_engine():
         f"\nbatch: {rate_batch:,.0f} interactions/s, "
         f"sequential: {rate_sequential:,.0f} interactions/s, "
         f"speedup {rate_batch / rate_sequential:.1f}x"
+    )
+    record_perf(
+        "batch-vs-configuration",
+        n=N,
+        engine="batch",
+        seconds=batch_time,
+        speedup=sequential_time / batch_time,
+        baseline_seconds=sequential_time,
     )
     assert batch_time * 5 <= sequential_time, (
         f"batched engine only {rate_batch / rate_sequential:.1f}x faster "

@@ -83,7 +83,7 @@ def test_compilation_is_cached_per_protocol_and_colors():
 
 
 @pytest.mark.perf
-def test_compiled_batch_is_2x_faster_than_uncompiled_batch():
+def test_compiled_batch_is_2x_faster_than_uncompiled_batch(record_perf):
     """The issue's acceptance bar: ≥2× over the PR 1 batch engine at n=10^5."""
     protocol = CirclesProtocol(K)
     colors = planted_majority(N, K, seed=5)
@@ -109,6 +109,14 @@ def test_compiled_batch_is_2x_faster_than_uncompiled_batch():
         f"uncompiled batch: {rate_uncompiled:,.0f} interactions/s, "
         f"speedup {rate_compiled / rate_uncompiled:.1f}x"
     )
+    record_perf(
+        "compiled-vs-uncompiled-batch",
+        n=N,
+        engine="batch",
+        seconds=compiled_time,
+        speedup=uncompiled_time / compiled_time,
+        baseline_seconds=uncompiled_time,
+    )
     assert compiled_time * 2 <= uncompiled_time, (
         f"compiled batch engine only {rate_compiled / rate_uncompiled:.1f}x faster "
         f"({compiled_time:.2f}s vs {uncompiled_time:.2f}s for {budget} interactions)"
@@ -116,7 +124,7 @@ def test_compiled_batch_is_2x_faster_than_uncompiled_batch():
 
 
 @pytest.mark.perf
-def test_compiled_configuration_engine_beats_uncompiled():
+def test_compiled_configuration_engine_beats_uncompiled(record_perf):
     protocol = CirclesProtocol(K)
     colors = planted_majority(N, K, seed=5)
     budget = 50_000
@@ -131,6 +139,14 @@ def test_compiled_configuration_engine_beats_uncompiled():
     print(
         f"\ncompiled configuration: {budget / compiled_time:,.0f} interactions/s, "
         f"uncompiled: {budget / uncompiled_time:,.0f} interactions/s"
+    )
+    record_perf(
+        "compiled-vs-uncompiled-configuration",
+        n=N,
+        engine="configuration",
+        seconds=compiled_time,
+        speedup=uncompiled_time / compiled_time,
+        baseline_seconds=uncompiled_time,
     )
     assert compiled_time < uncompiled_time
 

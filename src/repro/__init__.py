@@ -61,6 +61,12 @@ from repro.core.potential import configuration_energy, minimum_energy, ordinal_p
 from repro.core.state import CirclesState
 from repro.protocols.base import PopulationProtocol, TransitionResult
 from repro.protocols.registry import get_protocol, register_protocol
+from repro.simulation.observers import (
+    Observer,
+    available_observers,
+    build_observer,
+    register_observer,
+)
 from repro.simulation.registry import available_engines, get_engine
 from repro.simulation.runner import RunResult, run_circles, run_protocol
 from repro.workloads.registry import get_workload, register_workload, workload_names
@@ -91,6 +97,10 @@ __all__ = [
     "register_protocol",
     "available_engines",
     "get_engine",
+    "Observer",
+    "available_observers",
+    "build_observer",
+    "register_observer",
     "RunResult",
     "run_circles",
     "run_protocol",

@@ -187,6 +187,7 @@ def _protocol_runner(spec: RunSpec) -> RunRecord:
             seed=spec.seed,
             engine=spec.engine,
             compiled=spec.compiled,
+            observers=spec.observers,
             **{key: value for key, value in spec.protocol_params.items() if key == "variant"},
         )
     else:
@@ -200,8 +201,10 @@ def _protocol_runner(spec: RunSpec) -> RunRecord:
             seed=spec.seed,
             engine=spec.engine,
             compiled=spec.compiled,
+            observers=spec.observers,
         )
-    return RunRecord.from_result(spec, result)
+    extras = {"observers": result.observer_summaries} if result.observer_summaries else {}
+    return RunRecord.from_result(spec, result, extras=extras)
 
 
 register_runner("protocol", _protocol_runner)

@@ -99,11 +99,18 @@ class RunSpec:
     seed: int | None = None
     #: Seed for the input workload; defaults to ``seed`` when unset.
     workload_seed: int | None = None
+    #: Observers to attach to the run, by registry name
+    #: (:mod:`repro.simulation.observers`): bare names or ``(name, params)``
+    #: pairs.  Each observer's ``summary()`` lands in the resulting record's
+    #: ``extras["observers"]``, so sweeps collect metric summaries
+    #: declaratively.  Old specs without the field load unchanged.
+    observers: Sequence[object] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocol_params", dict(self.protocol_params))
         object.__setattr__(self, "workload_params", dict(self.workload_params))
         object.__setattr__(self, "scheduler_params", dict(self.scheduler_params))
+        object.__setattr__(self, "observers", _normalize_axis(self.observers))
         if self.n < 2:
             raise ValueError(f"a population needs at least two agents, got n={self.n}")
         if self.k < 1:
@@ -163,6 +170,10 @@ class SweepSpec:
     runner: str = "protocol"
     #: Default worker-process count for executors (``None``/1 = serial).
     workers: int | None = None
+    #: Observers attached to every run of the sweep (not an expansion axis):
+    #: names or ``(name, params)`` pairs, copied onto each expanded
+    #: :class:`RunSpec`.
+    observers: Sequence[object] = ()
     #: Optional human-readable label carried into results.
     name: str = ""
 
@@ -170,6 +181,7 @@ class SweepSpec:
         object.__setattr__(self, "protocols", _normalize_axis(self.protocols))
         object.__setattr__(self, "workloads", _normalize_axis(self.workloads))
         object.__setattr__(self, "schedulers", _normalize_axis(self.schedulers, allow_none=True))
+        object.__setattr__(self, "observers", _normalize_axis(self.observers))
         object.__setattr__(self, "populations", tuple(self.populations))
         object.__setattr__(self, "ks", tuple(self.ks))
         object.__setattr__(self, "engines", tuple(self.engines))
@@ -219,6 +231,7 @@ class SweepSpec:
                                             runner=self.runner,
                                             seed=derive_seed(self.seed, f"run:{index}"),
                                             workload_seed=point_seed,
+                                            observers=self.observers,
                                         )
                                     )
                                     index += 1
@@ -252,6 +265,7 @@ class SweepSpec:
             "seed": self.seed,
             "runner": self.runner,
             "workers": self.workers,
+            "observers": [[name, params] for name, params in self.observers],
         }
 
     @classmethod

@@ -9,11 +9,14 @@ strictly decreasing at every observed exchange (it must always be).
 
 The sweep is described declaratively: :func:`run` builds a
 :class:`~repro.api.spec.SweepSpec` over (n, k) and executes it through the
-custom ``"e2-stabilization"`` runner registered below — the per-exchange
-potential instrumentation does not fit the plain ``run_circles`` path, so it
-is packaged as a named run strategy instead (see
-:func:`repro.api.executor.register_runner`), keeping E2 runs persistable and
-parallelizable like any other spec.
+custom ``"e2-stabilization"`` runner registered below, keeping E2 runs
+persistable and parallelizable like any other spec.  The instrumentation
+itself is the observer pipeline (:mod:`repro.simulation.observers`): a
+:class:`~repro.simulation.observers.KetExchangeObserver` counts exchanges and
+a :class:`~repro.simulation.observers.PotentialObserver` verifies the strict
+potential decrease — identically on *every* engine, at each engine's exact
+delta granularity (per interaction on the agent engine, per burst aggregate
+on the batched engine), which is what scales the measurement to large ``n``.
 """
 
 from __future__ import annotations
@@ -25,15 +28,13 @@ from repro.api.records import RunRecord
 from repro.api.spec import RunSpec, SweepSpec, derive_seed
 from repro.core.circles import CirclesProtocol
 from repro.core.greedy_sets import has_unique_majority, predicted_majority
-from repro.core.potential import ordinal_potential
 from repro.experiments.harness import ExperimentResult
 from repro.scheduling.random_uniform import UniformRandomScheduler
-from repro.simulation.base import default_check_interval
 from repro.simulation.convergence import StableCircles
 from repro.simulation.engine import AgentSimulation
+from repro.simulation.observers import KetExchangeObserver, PotentialObserver
 from repro.simulation.population import Population
 from repro.simulation.registry import get_engine
-from repro.simulation.runner import ket_exchange_occurred
 from repro.utils.rng import make_rng
 from repro.workloads.distributions import planted_majority
 
@@ -47,79 +48,41 @@ def _measure_on_colors(
 ) -> dict[str, object]:
     """The instrumented Circles run behind both entry points.
 
-    With the ``"agent"`` engine the ordinal potential is checked after
-    *every* observed ket exchange — the per-exchange strictness that
-    Theorem 3.4's proof states.  The configuration-level engines
-    (``"configuration"``, ``"batch"``) apply interactions in bulk, so for them
-    the potential is checked once per check window instead: it must still
-    strictly decrease across any window containing an exchange (a composition
-    of strictly decreasing steps), which is the same monotonicity statement at
-    coarser granularity and scales the measurement to much larger ``n``.
+    One path for every engine: the engine runs under the shared
+    budget/convergence loop with the :class:`StableCircles` criterion, a
+    :class:`KetExchangeObserver` counts exchanges exactly, and a
+    :class:`PotentialObserver` checks that the ordinal potential strictly
+    decreases at every delta that moves weight — per ket exchange on the
+    agent engine, per exact burst aggregate on the batched engine (a
+    composition of strictly decreasing exchanges, so strictness carries
+    over), which is the per-exchange claim of Theorem 3.4 at each engine's
+    native granularity.
     """
     num_agents = len(colors)
     protocol = CirclesProtocol(num_colors)
-    criterion = StableCircles()
-    check_interval = default_check_interval(num_agents)
     rng = make_rng(engine_seed)
-
-    exchanges = 0
-    potential_always_decreased = True
-    steps_to_stable: int | None = None
 
     if engine == "agent":
         population = Population.from_colors(protocol, colors)
         scheduler = UniformRandomScheduler(num_agents, seed=rng.getrandbits(32))
         simulation = AgentSimulation(protocol, population, scheduler)
-        potential = ordinal_potential(simulation.states(), num_colors)
-        for step in range(budget):
-            record = simulation.step()
-            if ket_exchange_occurred(record.before, record.after):
-                exchanges += 1
-                new_potential = ordinal_potential(simulation.states(), num_colors)
-                if not new_potential < potential:
-                    potential_always_decreased = False
-                potential = new_potential
-            if steps_to_stable is None and (step + 1) % check_interval == 0:
-                if criterion.is_converged(protocol, simulation.states()):
-                    steps_to_stable = step + 1
-                    break
-        if steps_to_stable is None and criterion.is_converged(protocol, simulation.states()):
-            steps_to_stable = simulation.steps_taken
     else:
-
-        def observe(initiator, responder, result, count):
-            nonlocal exchanges
-            if ket_exchange_occurred(
-                (initiator, responder), (result.initiator, result.responder)
-            ):
-                exchanges += count
-
         engine_cls = get_engine(engine)
-        simulation = engine_cls.from_colors(
-            protocol, colors, seed=rng.getrandbits(32), transition_observer=observe
-        )
-        potential = ordinal_potential(simulation.states(), num_colors)
-        while simulation.steps_taken < budget:
-            window = min(check_interval, budget - simulation.steps_taken)
-            exchanges_before = exchanges
-            simulation.run(window)
-            if exchanges > exchanges_before:
-                new_potential = ordinal_potential(simulation.states(), num_colors)
-                if not new_potential < potential:
-                    potential_always_decreased = False
-                potential = new_potential
-            if criterion.is_converged_configuration(protocol, simulation.configuration()):
-                steps_to_stable = simulation.steps_taken
-                break
+        simulation = engine_cls.from_colors(protocol, colors, seed=rng.getrandbits(32))
+    exchanges = simulation.add_observer(KetExchangeObserver())
+    potential = simulation.add_observer(PotentialObserver())
+
+    converged = simulation.run(budget, criterion=StableCircles())
+    steps_to_stable = simulation.steps_taken if converged else None
 
     majority = predicted_majority(colors) if has_unique_majority(colors) else None
     outputs = simulation.outputs()
     return {
         "n": num_agents,
         "k": num_colors,
-        "ket_exchanges": exchanges,
+        "ket_exchanges": exchanges.exchanges,
         "steps_to_stable": steps_to_stable,
-        "potential_strictly_decreased": potential_always_decreased,
+        "potential_strictly_decreased": potential.strictly_decreasing,
         "interactions_changed": simulation.interactions_changed,
         "steps_taken": simulation.steps_taken,
         "majority": majority,

@@ -53,8 +53,15 @@ def run(
     populations: Iterable[int] = (10, 20, 40),
     ks: Iterable[int] = (4, 6),
     seed: int = 41,
+    engine: str = "agent",
 ) -> ExperimentResult:
-    """Build the E5 energy-minimization table."""
+    """Build the E5 energy-minimization table.
+
+    ``engine`` selects the simulation engine behind the discrete-run columns
+    (the relaxation curves come from the observer pipeline and are exact on
+    every engine; ``engine="batch"`` makes the sweep tractable at much larger
+    populations).  The Gillespie SSA column is engine-independent.
+    """
     result = ExperimentResult(
         experiment_id="E5",
         title="Energy relaxation to the predicted minimum (discrete engine, SSA, and ablation)",
@@ -75,10 +82,17 @@ def run(
         for n in populations:
             colors = planted_majority(n, k, seed=rng.getrandbits(32))
             budget = 60 * n * n
-            paper_run = energy_trajectory(colors, num_colors=k, max_steps=budget, seed=rng.getrandbits(32))
+            paper_run = energy_trajectory(
+                colors, num_colors=k, max_steps=budget, seed=rng.getrandbits(32), engine=engine
+            )
             ablation_variant = CirclesVariant(exchange_rule=ExchangeRule.SUM_WEIGHT)
             ablation_run = energy_trajectory(
-                colors, num_colors=k, max_steps=budget, seed=rng.getrandbits(32), variant=ablation_variant
+                colors,
+                num_colors=k,
+                max_steps=budget,
+                seed=rng.getrandbits(32),
+                variant=ablation_variant,
+                engine=engine,
             )
             # Does the ablation's final braket multiset match the Lemma 3.6 prediction?
             ablation_protocol = CirclesProtocol(k, variant=ablation_variant)

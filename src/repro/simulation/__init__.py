@@ -51,15 +51,39 @@ from repro.simulation.convergence import (
     SilentConfiguration,
     StableCircles,
 )
+from repro.simulation.observers import (
+    OBSERVERS,
+    CountDelta,
+    EnergyObserver,
+    KetExchangeObserver,
+    Observer,
+    PotentialObserver,
+    TraceObserver,
+    available_observers,
+    build_observer,
+    ket_exchange_occurred,
+    register_observer,
+)
+from repro.simulation.convergence import ActivePairTracker
 from repro.simulation.trace import Trace, TraceEvent
 from repro.simulation.runner import (
     RunResult,
-    ket_exchange_occurred,
     run_circles,
     run_protocol,
 )
 
 __all__ = [
+    "Observer",
+    "CountDelta",
+    "OBSERVERS",
+    "available_observers",
+    "build_observer",
+    "register_observer",
+    "TraceObserver",
+    "EnergyObserver",
+    "PotentialObserver",
+    "KetExchangeObserver",
+    "ActivePairTracker",
     "Population",
     "initial_states",
     "SimulationEngine",

@@ -7,19 +7,25 @@ holds what they share:
 * :class:`SimulationEngine` — the abstract base class every engine
   implements.  It fixes the public contract (``run``, ``states``,
   ``outputs``, ``output_counts``, the ``steps_taken`` /
-  ``interactions_changed`` counters) and provides the budget/convergence
-  loop as a template method, so the stopping semantics are identical across
-  engines: the criterion is evaluated before the first interaction and then
-  every ``check_interval`` interactions.
+  ``interactions_changed`` counters), owns the **observer pipeline**
+  (:mod:`repro.simulation.observers`: ``add_observer``, delta emission, and
+  the ``on_check``/``on_finish`` run-loop hooks), and provides the
+  budget/convergence loop as a template method, so the stopping semantics
+  are identical across engines: the criterion is evaluated before the first
+  interaction and then every ``check_interval`` interactions.
 * :class:`ConfigurationEngine` — the common machinery of the engines that
-  track only the configuration (construction and validation, the observer
-  hook, configuration bookkeeping per applied transition, count-weighted
-  output tallies).  It also owns the *compiled* representation
+  track only the configuration (construction and validation, delta emission
+  for applied transitions, configuration bookkeeping, count-weighted output
+  tallies).  It also owns the *compiled* representation
   (:mod:`repro.compile`): by default the configuration lives in an
   integer-indexed count vector over the protocol's reachable state space
   and transitions are flat-table lookups, with a transparent fallback to
   the multiset representation for protocols whose δ-closure exceeds the
-  compile cap (or with ``compiled=False``).
+  compile cap (or with ``compiled=False``).  On the compiled path,
+  quiescence checks (:class:`~repro.simulation.convergence.SilentConfiguration`)
+  are answered by an incrementally maintained
+  :class:`~repro.simulation.convergence.ActivePairTracker` instead of a
+  periodic ``O(d²)`` rescan.
 * :func:`default_check_interval` — the single default policy for how often
   convergence is checked.
 
@@ -35,15 +41,22 @@ from typing import ClassVar, Generic, TypeVar
 
 from repro.compile import CompiledProtocol, StateSpaceCapExceeded, compile_from_states
 from repro.protocols.base import PopulationProtocol, TransitionResult
-from repro.simulation.convergence import ConvergenceCriterion
+from repro.simulation.convergence import (
+    ActivePairTracker,
+    ConvergenceCriterion,
+    SilentConfiguration,
+)
+from repro.simulation.observers import CallbackObserver, CountDelta, Observer
 from repro.utils.multiset import Multiset
 from repro.utils.rng import RngLike, make_rng
 
 State = TypeVar("State", bound=Hashable)
 
-#: Observer hook ``(initiator_before, responder_before, result, count)``,
-#: invoked for every applied transition that changed at least one state;
-#: ``count`` is how many interactions of that pair type the call covers.
+#: Legacy observer hook ``(initiator_before, responder_before, result,
+#: count)``, invoked for every applied transition that changed at least one
+#: state; ``count`` is how many interactions of that pair type the call
+#: covers.  Engines accept one as the ``transition_observer=`` keyword and
+#: wrap it in a :class:`~repro.simulation.observers.CallbackObserver`.
 TransitionObserver = Callable[..., None]
 
 
@@ -77,12 +90,46 @@ class SimulationEngine(abc.ABC, Generic[State]):
 
     #: Registry name of the engine (see :mod:`repro.simulation.registry`).
     engine_name: ClassVar[str] = "engine"
+    #: Whether the engine tracks individual agents (only the agent engine
+    #: does; observers with ``requires_indices`` need it).
+    tracks_agents: ClassVar[bool] = False
 
     protocol: PopulationProtocol[State]
     #: Total interactions simulated so far.
     steps_taken: int
     #: Interactions that changed at least one agent's state.
     interactions_changed: int
+
+    # -- observers ---------------------------------------------------------------
+
+    def _init_observers(self, transition_observer: TransitionObserver | None) -> None:
+        """Set up the observer pipeline (call once, from ``__init__``)."""
+        self._observers: list[Observer] = []
+        self._wants_unchanged = False
+        if transition_observer is not None:
+            self.add_observer(CallbackObserver(transition_observer))
+
+    def add_observer(self, observer: Observer[State]) -> Observer[State]:
+        """Attach an observer and fire its ``on_start`` hook.
+
+        Raises:
+            ValueError: when the observer requires per-agent indices
+                (``requires_indices``) but this engine is anonymous.
+        """
+        if observer.requires_indices and not self.tracks_agents:
+            raise ValueError(
+                f"engine {self.engine_name!r} does not track individual agents; "
+                f"observer {observer.name!r} needs engine='agent'"
+            )
+        self._observers.append(observer)
+        self._wants_unchanged = any(o.wants_unchanged for o in self._observers)
+        observer.on_start(self)
+        return observer
+
+    @property
+    def observers(self) -> tuple[Observer[State], ...]:
+        """The attached observers, in attachment order."""
+        return tuple(self._observers)
 
     # -- abstract surface -------------------------------------------------------
 
@@ -122,12 +169,19 @@ class SimulationEngine(abc.ABC, Generic[State]):
     ) -> bool:
         """Run until the criterion holds or ``max_steps`` interactions elapsed.
 
+        Observer hooks (:mod:`repro.simulation.observers`): attached
+        observers receive ``on_check`` after every criterion evaluation and
+        ``on_finish`` when this call returns (``on_start`` fires at
+        attachment, ``on_delta`` as interactions apply).
+
         Args:
             max_steps: the interaction budget.
             criterion: optional stopping criterion; when omitted the engine
                 simply runs the full budget.
             check_interval: how often (in interactions) the criterion is
-                evaluated; defaults to :func:`default_check_interval`.
+                evaluated; defaults to :func:`default_check_interval`.  Must
+                be at least 1 — in particular 0 is rejected, because it used
+                to be silently replaced by the default.
 
         Returns:
             True when the criterion was satisfied (always False when no
@@ -135,16 +189,23 @@ class SimulationEngine(abc.ABC, Generic[State]):
         """
         if max_steps < 0:
             raise ValueError("max_steps must be non-negative")
-        if check_interval is not None and check_interval < 0:
-            raise ValueError("check_interval must be non-negative")
+        if check_interval is not None and check_interval < 1:
+            raise ValueError(
+                f"check_interval must be a positive number of interactions, got "
+                f"{check_interval}; omit it (or pass None) for the default policy"
+            )
         if criterion is None:
             executed = 0
             while executed < max_steps:
                 executed += self._advance(max_steps - executed)
-            return False
-        interval = check_interval or default_check_interval(self.num_agents)
-        if self._converged(criterion):
-            return True
+            return self._finish(False)
+        interval = (
+            check_interval
+            if check_interval is not None
+            else default_check_interval(self.num_agents)
+        )
+        if self._check(criterion):
+            return self._finish(True)
         executed = 0
         while executed < max_steps:
             window = min(interval, max_steps - executed)
@@ -152,9 +213,22 @@ class SimulationEngine(abc.ABC, Generic[State]):
             while done < window:
                 done += self._advance(window - done)
             executed += window
-            if self._converged(criterion):
-                return True
-        return False
+            if self._check(criterion):
+                return self._finish(True)
+        return self._finish(False)
+
+    def _check(self, criterion: ConvergenceCriterion[State]) -> bool:
+        """Evaluate the criterion and fire the ``on_check`` boundary hook."""
+        verdict = self._converged(criterion)
+        for observer in self._observers:
+            observer.on_check(self)
+        return verdict
+
+    def _finish(self, converged: bool) -> bool:
+        """Fire ``on_finish`` and pass the verdict through."""
+        for observer in self._observers:
+            observer.on_finish(self, converged)
+        return converged
 
     # -- shared inspection -------------------------------------------------------
 
@@ -218,13 +292,15 @@ class ConfigurationEngine(SimulationEngine[State]):
         self._configuration: Multiset[State] | None = configuration.copy()
         self._num_agents = len(configuration)
         self._rng = make_rng(seed)
-        self.transition_observer = transition_observer
         self.steps_taken = 0
         self.interactions_changed = 0
         self._compiled: CompiledProtocol[State] | None = None
         self._counts: list[int] | None = None
+        #: Lazily created incremental quiescence tracker (compiled path only).
+        self._active_pairs: ActivePairTracker | None = None
         if compiled is None or compiled:
             self._try_compile()
+        self._init_observers(transition_observer)
 
     def _try_compile(self) -> None:
         """Switch to the count-vector representation when compilation fits."""
@@ -261,31 +337,42 @@ class ConfigurationEngine(SimulationEngine[State]):
         result: TransitionResult[State],
         count: int,
     ) -> None:
-        """Book a changed transition: counters, configuration, observer."""
+        """Book a changed transition: counters, configuration, observers."""
         self.interactions_changed += count
         configuration = self._configuration
         configuration.remove(initiator, count)
         configuration.remove(responder, count)
         configuration.add(result.initiator, count)
         configuration.add(result.responder, count)
-        if self.transition_observer is not None:
-            self.transition_observer(initiator, responder, result, count)
+        if self._observers:
+            delta = CountDelta(
+                step=self.steps_taken,
+                initiator=initiator,
+                responder=responder,
+                result=result,
+                count=count,
+            )
+            for observer in self._observers:
+                observer.on_delta(delta)
 
     def _record_changed_codes(self, p: int, q: int, a: int, b: int, count: int) -> None:
-        """Book a changed compiled transition: counter + (decoded) observer.
+        """Book a changed compiled transition: counter + (decoded) delta.
 
         Count-vector bookkeeping stays with the caller — the engines update
         counts differently (per pair type, or wholesale per burst).
         """
         self.interactions_changed += count
-        if self.transition_observer is not None:
+        if self._observers:
             decode = self._compiled.decode
-            self.transition_observer(
-                decode(p),
-                decode(q),
-                TransitionResult(decode(a), decode(b), True),
-                count,
+            delta = CountDelta(
+                step=self.steps_taken,
+                initiator=decode(p),
+                responder=decode(q),
+                result=TransitionResult(decode(a), decode(b), True),
+                count=count,
             )
+            for observer in self._observers:
+                observer.on_delta(delta)
 
     def _book_changed_codes(self, p: int, q: int, a: int, b: int, count: int) -> None:
         """Apply one changed compiled pair type to the count vector and book it."""
@@ -294,13 +381,32 @@ class ConfigurationEngine(SimulationEngine[State]):
         counts[q] -= count
         counts[a] += count
         counts[b] += count
+        tracker = self._active_pairs
+        if tracker is not None:
+            tracker.update(p)
+            tracker.update(q)
+            tracker.update(a)
+            tracker.update(b)
         self._record_changed_codes(p, q, a, b, count)
 
+    def _quiescence(self) -> ActivePairTracker:
+        """The incremental quiescence tracker (created on first use)."""
+        if self._active_pairs is None:
+            self._active_pairs = ActivePairTracker(self._compiled, self._counts)
+        return self._active_pairs
+
     def _converged(self, criterion: ConvergenceCriterion[State]) -> bool:
+        compiled = self._compiled
+        if compiled is not None:
+            if isinstance(criterion, SilentConfiguration) and criterion.incremental:
+                return self._quiescence().is_silent()
+            verdict = criterion.is_converged_counts(self.protocol, compiled, self._counts)
+            if verdict is not None:
+                return verdict
         configuration = (
             self._configuration
-            if self._compiled is None
-            else self._compiled.counts_to_multiset(self._counts)
+            if compiled is None
+            else compiled.counts_to_multiset(self._counts)
         )
         return criterion.is_converged_configuration(self.protocol, configuration)
 
@@ -327,6 +433,14 @@ class ConfigurationEngine(SimulationEngine[State]):
         if self._compiled is None:
             return self._configuration.copy()
         return self._compiled.counts_to_multiset(self._counts)
+
+    def count_vector(self):
+        """The live count vector, index-aligned with ``compiled_protocol.states``.
+
+        ``None`` on the uncompiled path.  The vector is the engine's working
+        state — treat it as read-only.
+        """
+        return self._counts
 
     def output_counts(self) -> dict[int, int]:
         """How many agents currently output each color."""

@@ -289,10 +289,10 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
         _np.add.at(touched, a_codes, pair_counts)
         _np.add.at(touched, b_codes, pair_counts)
 
-        if self.transition_observer is None:
+        if not self._observers:
             self.interactions_changed += int(pair_counts[changed].sum())
         else:
-            # The observer contract wants one decoded call per pair type.
+            # The observer contract wants one decoded delta per pair type.
             for code, a, b, count, did_change in zip(
                 unique.tolist(),
                 a_codes.tolist(),
@@ -308,6 +308,16 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
         if collision is not None:
             executed += self._collision_step_counts(touched, collision, length)
         counts += touched
+        tracker = self._active_pairs
+        if tracker is not None:
+            # The burst changed counts wholesale: diff the tracker's
+            # classification against the live vector in one vectorized pass
+            # and reclassify only the codes whose class actually moved
+            # (usually none on a near-quiescent run).
+            classes = _np.frombuffer(tracker.classes_view(), dtype=_np.uint8)
+            moved = _np.nonzero(_np.minimum(counts, 2) != classes)[0]
+            if moved.size:
+                tracker.update_codes(moved.tolist())
         self.steps_taken += executed
         return executed
 

@@ -21,6 +21,14 @@ The engine is *exact* either way: its induced Markov chain over
 configurations is the same as the agent-level engine's under
 :class:`UniformRandomScheduler`; a dedicated integration test checks the
 agreement distributionally.
+
+Observation and convergence detection are inherited from
+:class:`~repro.simulation.base.ConfigurationEngine`: attached observers
+(:mod:`repro.simulation.observers`) receive one exact
+:class:`~repro.simulation.observers.CountDelta` per changed interaction, and
+on the compiled path quiescence checks are answered incrementally by the
+:class:`~repro.simulation.convergence.ActivePairTracker` instead of an
+``O(d²)`` rescan.
 """
 
 from __future__ import annotations

@@ -12,8 +12,14 @@ when to stop.  Three criteria are provided:
   a stronger structural notion of stability.
 * :class:`SilentConfiguration` — no interaction between any two present
   states changes anything.  A silent configuration can never change again, so
-  this is a *sound* stopping rule for any protocol, at the cost of an
-  ``O(d²)`` check over distinct states.
+  this is a *sound* stopping rule for any protocol.  Checked from scratch it
+  costs ``O(d²)`` transition evaluations over the distinct states; on the
+  compiled engines the check is instead answered **incrementally** by an
+  :class:`ActivePairTracker` — the count of δ-active ordered pairs among
+  present states, maintained in ``O(affected states)`` per applied delta from
+  the compiled ``changed`` bitmask, so each periodic check is ``O(1)``.
+  ``SilentConfiguration(incremental=False)`` opts back into the from-scratch
+  rescan (the benchmark baseline).
 * :class:`StableCircles` — the Circles-specific criterion from the paper's
   proof: no ket exchange is possible (Theorem 3.4's stabilization) and all
   agents agree on an output that matches a diagonal agent's color
@@ -21,6 +27,11 @@ when to stop.  Three criteria are provided:
   stable while output-copying interactions still formally "change" the state
   of out-of-date agents, so this criterion converges earlier than silence
   while still being permanent.
+
+Criteria may additionally implement :meth:`ConvergenceCriterion.is_converged_counts`,
+a count-level fast path evaluated directly on a compiled engine's count
+vector (no multiset materialization); returning ``None`` falls back to the
+configuration-level check.
 """
 
 from __future__ import annotations
@@ -55,6 +66,18 @@ class ConvergenceCriterion(abc.ABC, Generic[State]):
         """Configuration-level variant; defaults to expanding the multiset."""
         return self.is_converged(protocol, list(configuration.elements()))
 
+    def is_converged_counts(
+        self, protocol: PopulationProtocol[State], compiled, counts
+    ) -> bool | None:
+        """Count-level fast path over a compiled count vector.
+
+        ``counts`` is index-aligned with ``compiled.states``.  Return the
+        verdict, or ``None`` to defer to the configuration-level check (the
+        default).  Implementations must agree with
+        :meth:`is_converged_configuration` on the decoded configuration.
+        """
+        return None
+
 
 class OutputConsensus(ConvergenceCriterion[State]):
     """All agents currently output the same color (optionally a target color)."""
@@ -86,11 +109,37 @@ class OutputConsensus(ConvergenceCriterion[State]):
             return True
         return next(iter(outputs)) == self.target
 
+    def is_converged_counts(
+        self, protocol: PopulationProtocol[State], compiled, counts
+    ) -> bool | None:
+        first: int | None = None
+        outputs = compiled.outputs
+        for code, count in enumerate(counts):
+            if count:
+                color = outputs[code]
+                if first is None:
+                    first = color
+                elif color != first:
+                    return False
+        if first is None:
+            return False
+        return True if self.target is None else first == self.target
+
 
 class SilentConfiguration(ConvergenceCriterion[State]):
-    """No interaction between any two present states changes anything."""
+    """No interaction between any two present states changes anything.
+
+    On a compiled engine the check is answered by the engine's
+    :class:`ActivePairTracker` in ``O(1)`` per check unless ``incremental``
+    is False, which forces the classic from-scratch ``O(d²)`` rescan through
+    ``protocol.transition`` (the baseline the incremental-detection benchmark
+    measures against; also the path taken by uncompiled engines).
+    """
 
     name = "silent"
+
+    def __init__(self, incremental: bool = True) -> None:
+        self.incremental = incremental
 
     def is_converged(
         self, protocol: PopulationProtocol[State], states: Sequence[State]
@@ -140,9 +189,21 @@ class StableCircles(ConvergenceCriterion[CirclesState]):
     def is_converged_configuration(
         self, protocol: PopulationProtocol[CirclesState], configuration: Multiset[CirclesState]
     ) -> bool:
+        return self._is_converged_support(protocol, list(configuration.support()))
+
+    def is_converged_counts(
+        self, protocol: PopulationProtocol[CirclesState], compiled, counts
+    ) -> bool | None:
+        decode = compiled.decode
+        support = [decode(code) for code, count in enumerate(counts) if count]
+        return self._is_converged_support(protocol, support)
+
+    def _is_converged_support(
+        self, protocol: PopulationProtocol[CirclesState], support: list[CirclesState]
+    ) -> bool:
+        """The criterion on the set of present states (counts are irrelevant)."""
         if not isinstance(protocol, CirclesProtocol):
             raise TypeError("StableCircles only applies to CirclesProtocol runs")
-        support = list(configuration.support())
         if not support:
             return False
         if not is_stable_configuration(protocol, support):
@@ -151,3 +212,91 @@ class StableCircles(ConvergenceCriterion[CirclesState]):
         if len(outputs) != 1:
             return False
         return next(iter(outputs)) in diagonal_colors(support)
+
+
+class ActivePairTracker:
+    """Incremental quiescence detection over a compiled count vector.
+
+    Silence means no ordered pair of *present* states has the compiled
+    ``changed`` bit set (counting a state against itself only when it has
+    multiplicity ≥ 2).  The tracker maintains exactly that quantity —
+    ``active_pairs`` — as counts change:
+
+    * each state code is classified as absent (count 0), singleton (1) or
+      plural (≥ 2);
+    * when a code enters or leaves the support, the tracker adjusts
+      ``active_pairs`` by scanning that code's row and column of the
+      ``changed`` bitmask against the current support — ``O(present
+      states)``, and support membership changes are rare on near-quiescent
+      runs;
+    * singleton/plural flips touch only the code's own diagonal bit,
+      ``O(1)``.
+
+    Engines call :meth:`update` (or :meth:`update_codes`) with the codes
+    whose counts they just changed; a delta affects at most four codes, so
+    maintenance is ``O(affected states)`` per delta and
+    :meth:`is_silent` is ``O(1)`` — replacing the periodic ``O(d²)``
+    from-scratch rescan of :class:`SilentConfiguration`.
+    """
+
+    __slots__ = ("_counts", "_changed", "_d", "_classes", "_support", "active_pairs")
+
+    def __init__(self, compiled, counts) -> None:
+        self._counts = counts
+        self._changed = compiled.changed
+        self._d = compiled.num_states
+        self._classes = bytearray(self._d)
+        self._support: set[int] = set()
+        self.active_pairs = 0
+        for code, count in enumerate(counts):
+            if count:
+                self.update(code)
+
+    def classes_view(self) -> bytearray:
+        """The per-code class bytes (0 absent / 1 singleton / 2 plural).
+
+        Exposed so vectorized callers (the numpy burst path) can diff the
+        classification against the live counts and call :meth:`update` only
+        for codes whose class actually moved.  Treat as read-only.
+        """
+        return self._classes
+
+    def update_codes(self, codes) -> None:
+        """Reclassify every code in ``codes`` against the live count vector."""
+        for code in codes:
+            self.update(code)
+
+    def update(self, code: int) -> None:
+        """Reclassify one code after its count changed (idempotent)."""
+        count = self._counts[code]
+        new = 2 if count >= 2 else (1 if count == 1 else 0)
+        old = self._classes[code]
+        if new == old:
+            return
+        changed = self._changed
+        d = self._d
+        base = code * d
+        if old == 0:
+            for other in self._support:
+                if changed[base + other]:
+                    self.active_pairs += 1
+                if changed[other * d + code]:
+                    self.active_pairs += 1
+            self._support.add(code)
+        elif new == 0:
+            self._support.discard(code)
+            for other in self._support:
+                if changed[base + other]:
+                    self.active_pairs -= 1
+                if changed[other * d + code]:
+                    self.active_pairs -= 1
+        if changed[base + code]:
+            if new == 2 and old < 2:
+                self.active_pairs += 1
+            elif old == 2 and new < 2:
+                self.active_pairs -= 1
+        self._classes[code] = new
+
+    def is_silent(self) -> bool:
+        """Whether the tracked configuration is silent (no active pair)."""
+        return self.active_pairs == 0

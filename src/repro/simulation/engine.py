@@ -18,8 +18,9 @@ from repro.protocols.base import PopulationProtocol
 from repro.scheduling.base import Scheduler
 from repro.simulation.base import SimulationEngine
 from repro.simulation.convergence import ConvergenceCriterion
+from repro.simulation.observers import CountDelta, TraceObserver
 from repro.simulation.population import Population
-from repro.simulation.trace import Trace, TraceEvent
+from repro.simulation.trace import Trace
 from repro.utils.rng import RngLike
 
 State = TypeVar("State", bound=Hashable)
@@ -48,6 +49,7 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
     """Simulate a protocol over an indexed population under a scheduler."""
 
     engine_name = "agent"
+    tracks_agents = True
 
     def __init__(
         self,
@@ -67,14 +69,17 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
                 plain sequence).
             scheduler: decides which pair interacts at each step.
             trace: optional trace recorder; when given, every step is
-                recorded together with the metric values.
+                recorded together with the metric values (sugar for
+                attaching a :class:`~repro.simulation.observers.TraceObserver`).
             metrics: optional named metric functions evaluated on the state
                 list at every recorded step.
-            transition_observer: optional hook ``(initiator_before,
+            transition_observer: optional legacy hook ``(initiator_before,
                 responder_before, result, count)`` invoked for every
                 interaction that changed at least one state (``count`` is
-                always 1 for this engine) — the same contract as the
-                configuration-level engines.
+                always 1 for this engine) — wrapped in a
+                :class:`~repro.simulation.observers.CallbackObserver`; new
+                code should pass :class:`Observer` instances to
+                :meth:`~repro.simulation.base.SimulationEngine.add_observer`.
             compiled: when True, evaluate ``δ`` through the protocol's
                 compiled transition table (:mod:`repro.compile`) instead of
                 Python dispatch.  Off by default — the agent engine exists
@@ -94,7 +99,6 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
         self.scheduler = scheduler
         self.trace = trace
         self.metrics = dict(metrics or {})
-        self.transition_observer = transition_observer
         self.steps_taken = 0
         self.interactions_changed = 0
         self._compiled = None
@@ -105,6 +109,9 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
                 )
             except StateSpaceCapExceeded:
                 self._compiled = None
+        self._init_observers(transition_observer)
+        if trace is not None:
+            self.add_observer(TraceObserver(trace=trace, metrics=self.metrics))
 
     @classmethod
     def from_colors(
@@ -157,8 +164,6 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
             states[initiator_index] = result.initiator
             states[responder_index] = result.responder
             self.interactions_changed += 1
-            if self.transition_observer is not None:
-                self.transition_observer(before[0], before[1], result, 1)
         record = StepRecord(
             step=self.steps_taken,
             initiator=initiator_index,
@@ -166,19 +171,19 @@ class AgentSimulation(SimulationEngine[State], Generic[State]):
             before=before,
             after=after,
         )
-        if self.trace is not None:
-            metric_values = {
-                name: metric(self.population.states()) for name, metric in self.metrics.items()
-            }
-            self.trace.record(
-                TraceEvent(
-                    step=record.step,
-                    initiator=initiator_index,
-                    responder=responder_index,
-                    changed=record.changed,
-                    metrics=metric_values,
-                )
+        if self._observers and (result.changed or self._wants_unchanged):
+            delta = CountDelta(
+                step=record.step,
+                initiator=before[0],
+                responder=before[1],
+                result=result,
+                count=1,
+                initiator_index=initiator_index,
+                responder_index=responder_index,
             )
+            for observer in self._observers:
+                if result.changed or observer.wants_unchanged:
+                    observer.on_delta(delta)
         self.steps_taken += 1
         return record
 

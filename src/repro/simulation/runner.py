@@ -35,17 +35,30 @@ from typing import TypeVar
 from repro.core.circles import CirclesProtocol, CirclesVariant
 from repro.core.greedy_sets import has_unique_majority, predicted_majority
 from repro.core.potential import configuration_energy
-from repro.core.state import CirclesState
-from repro.protocols.base import PopulationProtocol, TransitionResult
+from repro.protocols.base import PopulationProtocol
 from repro.scheduling.base import Scheduler
 from repro.simulation.base import SimulationEngine
 from repro.simulation.convergence import ConvergenceCriterion, OutputConsensus, StableCircles
 from repro.simulation.engine import AgentSimulation
+from repro.simulation.observers import (
+    KetExchangeObserver,
+    Observer,
+    build_observer,
+    ket_exchange_occurred,
+)
 from repro.simulation.registry import get_engine
 from repro.simulation.trace import Trace
 from repro.utils.rng import RngLike
 
 State = TypeVar("State", bound=Hashable)
+
+__all__ = [
+    "RunResult",
+    "default_max_steps",
+    "ket_exchange_occurred",
+    "run_circles",
+    "run_protocol",
+]
 
 
 def default_max_steps(num_agents: int, num_colors: int) -> int:
@@ -60,22 +73,24 @@ def default_max_steps(num_agents: int, num_colors: int) -> int:
     return max(2_000, 4 * num_agents * num_agents * (num_agents + num_colors))
 
 
-def ket_exchange_occurred(
-    before: tuple[CirclesState, CirclesState], after: tuple[CirclesState, CirclesState]
-) -> bool:
-    """Whether an interaction exchanged kets, judged from both sides.
+def _resolve_observers(
+    observers: Sequence[Observer | str | tuple] | None,
+) -> list[Observer]:
+    """Resolve an ``observers=`` argument into live observer instances.
 
-    :meth:`CirclesProtocol.transition` swaps *both* kets whenever it swaps
-    any, so for the paper's protocol the two sides always agree; counting
-    either side keeps the statistic correct for transition variants in which
-    only the responder's ket moves (a responder-side-only change used to be
-    silently dropped by an initiator-only check).  One interaction counts as
-    at most one exchange even though it touches two kets.
+    Accepts :class:`~repro.simulation.observers.Observer` instances, registry
+    names, and ``(name, params)`` pairs (the ``RunSpec.observers`` spelling).
     """
-    return (
-        before[0].braket.ket != after[0].braket.ket
-        or before[1].braket.ket != after[1].braket.ket
-    )
+    resolved: list[Observer] = []
+    for entry in observers or ():
+        if isinstance(entry, str):
+            resolved.append(build_observer(entry))
+        elif isinstance(entry, (tuple, list)):
+            name, params = entry
+            resolved.append(build_observer(name, **dict(params)))
+        else:
+            resolved.append(entry)
+    return resolved
 
 
 def _validate_input_colors(colors: Sequence[int]) -> None:
@@ -110,6 +125,9 @@ class RunResult:
     #: The integer seed the run was started with (``None`` for unseeded runs
     #: or runs seeded with a live ``random.Random`` instance).
     seed: int | None = None
+    #: ``{observer name: summary}`` for the observers the run was asked to
+    #: attach (JSON-native; sweeps persist it into ``RunRecord.extras``).
+    observer_summaries: dict = field(default_factory=dict)
     trace: Trace | None = field(default=None, repr=False)
 
     @property
@@ -164,7 +182,7 @@ def _build_simulation(
     scheduler: Scheduler | None,
     seed: RngLike,
     record_trace: bool,
-    transition_observer=None,
+    observers: Sequence[Observer] = (),
     compiled: bool | None = None,
 ) -> tuple[SimulationEngine[State], Trace | None, str]:
     """Construct the selected engine; returns (simulation, trace, scheduler name).
@@ -172,6 +190,7 @@ def _build_simulation(
     ``compiled=None`` leaves each engine on its own default: the
     configuration-level engines compile transparently, the agent engine does
     not (it exists for arbitrary schedulers and per-step instrumentation).
+    ``observers`` are attached in order, after construction.
     """
     if issubclass(engine_cls, AgentSimulation):
         trace = Trace() if record_trace else None
@@ -181,14 +200,15 @@ def _build_simulation(
             seed=seed,
             scheduler=scheduler,
             trace=trace,
-            transition_observer=transition_observer,
             compiled=bool(compiled),
         )
-        return simulation, trace, simulation.scheduler.name
-    simulation = engine_cls.from_colors(
-        protocol, colors, seed=seed, transition_observer=transition_observer, compiled=compiled
-    )
-    return simulation, None, "uniform-random"
+        scheduler_name = simulation.scheduler.name
+    else:
+        simulation = engine_cls.from_colors(protocol, colors, seed=seed, compiled=compiled)
+        trace, scheduler_name = None, "uniform-random"
+    for observer in observers:
+        simulation.add_observer(observer)
+    return simulation, trace, scheduler_name
 
 
 def run_protocol(
@@ -202,6 +222,7 @@ def run_protocol(
     check_interval: int | None = None,
     engine: str = "agent",
     compiled: bool | None = None,
+    observers: Sequence[Observer | str | tuple] | None = None,
 ) -> RunResult:
     """Run any population protocol on an input color assignment.
 
@@ -226,6 +247,10 @@ def run_protocol(
             (:mod:`repro.compile`).  ``None`` keeps each engine's default
             (configuration-level engines compile, the agent engine does not);
             ``False`` forces the uncompiled path, e.g. for benchmarks.
+        observers: observers to attach for the run
+            (:mod:`repro.simulation.observers`): instances, registry names,
+            or ``(name, params)`` pairs.  Their ``summary()`` dictionaries
+            are reported as ``RunResult.observer_summaries``.
 
     Returns:
         A :class:`RunResult`; ``correct`` is True when the input has a unique
@@ -240,8 +265,10 @@ def run_protocol(
         len(colors), protocol.num_colors
     )
 
+    resolved = _resolve_observers(observers)
     simulation, trace, scheduler_name = _build_simulation(
-        engine_cls, protocol, colors, scheduler, seed, record_trace, compiled=compiled
+        engine_cls, protocol, colors, scheduler, seed, record_trace,
+        observers=resolved, compiled=compiled,
     )
     converged = simulation.run(budget, criterion=criterion, check_interval=check_interval)
     outputs = tuple(simulation.outputs())
@@ -262,6 +289,7 @@ def run_protocol(
         final_states=tuple(simulation.states()),
         engine=engine,
         seed=seed if isinstance(seed, int) else None,
+        observer_summaries={obs.name: obs.summary() for obs in resolved},
         trace=trace,
     )
 
@@ -277,12 +305,14 @@ def run_circles(
     check_interval: int | None = None,
     engine: str = "agent",
     compiled: bool | None = None,
+    observers: Sequence[Observer | str | tuple] | None = None,
 ) -> RunResult:
     """Run the Circles protocol on an input color assignment.
 
     Uses the Circles-specific :class:`StableCircles` stopping criterion and
-    additionally reports the number of ket exchanges and the initial/final
-    configuration energies.
+    additionally reports the number of ket exchanges (counted by a
+    :class:`~repro.simulation.observers.KetExchangeObserver`, exact on every
+    engine) and the initial/final configuration energies.
 
     Args:
         colors: one input color per agent (at least two agents).
@@ -290,8 +320,8 @@ def run_circles(
         scheduler: defaults to a seeded :class:`RandomPermutationScheduler`;
             only the ``"agent"`` engine accepts one.
         variant: ablation switches; defaults to the paper's protocol.
-        max_steps / seed / record_trace / check_interval / engine / compiled:
-            as in :func:`run_protocol`.
+        max_steps / seed / record_trace / check_interval / engine / compiled /
+            observers: as in :func:`run_protocol`.
     """
     colors = tuple(colors)
     _validate_input_colors(colors)
@@ -304,20 +334,8 @@ def run_circles(
     initial_states = [protocol.initial_state(color) for color in colors]
     initial_energy = configuration_energy(initial_states, k)
 
-    ket_exchanges = 0
-
-    def observe(
-        initiator: CirclesState,
-        responder: CirclesState,
-        result: TransitionResult[CirclesState],
-        count: int,
-    ) -> None:
-        nonlocal ket_exchanges
-        if ket_exchange_occurred(
-            (initiator, responder), (result.initiator, result.responder)
-        ):
-            ket_exchanges += count
-
+    exchange_counter = KetExchangeObserver()
+    resolved = _resolve_observers(observers)
     simulation, trace, scheduler_name = _build_simulation(
         engine_cls,
         protocol,
@@ -325,7 +343,7 @@ def run_circles(
         scheduler,
         seed,
         record_trace,
-        transition_observer=observe,
+        observers=[exchange_counter, *resolved],
         compiled=compiled,
     )
     converged = simulation.run(budget, criterion=criterion, check_interval=check_interval)
@@ -347,10 +365,11 @@ def run_circles(
         majority=majority,
         correct=correct,
         final_states=final_states,
-        ket_exchanges=ket_exchanges,
+        ket_exchanges=exchange_counter.exchanges,
         initial_energy=initial_energy,
         final_energy=configuration_energy(final_states, k),
         engine=engine,
         seed=seed if isinstance(seed, int) else None,
+        observer_summaries={obs.name: obs.summary() for obs in resolved},
         trace=trace,
     )

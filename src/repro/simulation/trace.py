@@ -2,9 +2,17 @@
 
 A trace records, per simulation step, which pair interacted, whether anything
 changed and optional per-step metrics (energy, potential, output counts).
-Traces power the energy-trajectory experiment (E5), the examples' plots-as-
-text output and post-mortem debugging of adversarial runs.  Recording is
-opt-in because a full trace of a long run is large.
+Traces power the examples' plots-as-text output and post-mortem debugging of
+adversarial runs.  Recording is opt-in because a full trace of a long run is
+large.
+
+Recording is fed by the observer pipeline: the ``trace=`` parameter of
+:class:`~repro.simulation.engine.AgentSimulation` (and ``record_trace=True``
+on the high-level run API) attaches a
+:class:`~repro.simulation.observers.TraceObserver`, which needs per-agent
+indices and therefore exists on the agent engine only; the
+configuration-level engines expose their executions through count-level
+observers instead.
 """
 
 from __future__ import annotations

@@ -204,3 +204,38 @@ class TestCompiledKnob:
         data = RunSpec(protocol="circles", n=8, k=2).to_dict()
         del data["compiled"]
         assert RunSpec.from_dict(data).compiled is None
+
+
+class TestObserverSummaries:
+    def test_summaries_land_in_record_extras(self):
+        spec = RunSpec(
+            protocol="circles", n=12, k=3, engine="batch", seed=9,
+            max_steps=40_000, observers=("energy", "ket-exchanges"),
+        )
+        record = execute_run(spec)
+        summaries = record.extras["observers"]
+        assert summaries["energy"]["initial_energy"] == 12 * 3
+        assert summaries["energy"]["monotone_nonincreasing"]
+        assert summaries["ket-exchanges"]["ket_exchanges"] == record.ket_exchanges
+        # The extras survive the JSON round trip like every other field.
+        assert RunRecord.from_dict(record.to_dict()) == record
+
+    def test_circles_shaped_observer_on_foreign_protocol_fails_clearly(self):
+        spec = RunSpec(
+            protocol="exact-majority", n=10, k=2, engine="configuration", seed=4,
+            max_steps=20_000, observers=(("energy", {"record": "check"}),),
+        )
+        with pytest.raises(TypeError, match="Circles-shaped states"):
+            execute_run(spec)
+
+    def test_runs_without_observers_have_no_extras_key(self):
+        spec = RunSpec(protocol="circles", n=10, k=3, engine="batch", seed=4, max_steps=10_000)
+        record = execute_run(spec)
+        assert "observers" not in record.extras
+
+    def test_unknown_observer_name_fails_with_registry_error(self):
+        spec = RunSpec(
+            protocol="circles", n=10, k=3, seed=4, max_steps=1_000, observers=("nope",)
+        )
+        with pytest.raises(KeyError, match="unknown observer 'nope'"):
+            execute_run(spec)

@@ -134,3 +134,36 @@ class TestSweepSpecExpansion:
         restored = SweepSpec.from_json(sweep.to_json())
         assert restored == sweep
         assert restored.expand() == sweep.expand()
+
+
+class TestObserversKnob:
+    def test_observers_normalize_and_roundtrip(self):
+        spec = RunSpec(
+            protocol="circles", n=12, k=3, engine="batch", seed=5,
+            observers=("energy", ("potential", {}), ["ket-exchanges", {}]),
+        )
+        assert spec.observers == (
+            ("energy", {}), ("potential", {}), ("ket-exchanges", {}),
+        )
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_observer_params_survive_roundtrip(self):
+        spec = RunSpec(
+            protocol="circles", n=12, k=3, observers=(("energy", {"record": "check"}),)
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored.observers == (("energy", {"record": "check"}),)
+
+    def test_legacy_specs_without_the_field_load(self):
+        legacy = RunSpec.from_json('{"protocol": "circles", "n": 12, "k": 3}')
+        assert legacy.observers == ()
+
+    def test_sweep_copies_observers_onto_every_run(self):
+        sweep = SweepSpec(
+            protocols=("circles",), populations=(8, 12), ks=(3,),
+            observers=("energy",), seed=1,
+        )
+        runs = sweep.expand()
+        assert len(runs) == 2
+        assert all(run.observers == (("energy", {}),) for run in runs)
+        assert SweepSpec.from_json(sweep.to_json()).to_dict() == sweep.to_dict()

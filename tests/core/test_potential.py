@@ -106,3 +106,55 @@ def test_potential_of_prediction_not_above_initial(colors):
     initial = [CirclesState.initial(color) for color in colors]
     stable = list(predicted_stable_brakets(colors).elements())
     assert ordinal_potential(stable, k) <= ordinal_potential(initial, k)
+
+
+class TestCountLevelHelpers:
+    """The count-level energy/potential toolkit behind the observer pipeline."""
+
+    def _setup(self):
+        from repro.core.potential import state_weights
+
+        states = [CirclesState(0, 0, 0), CirclesState(0, 1, 0), CirclesState(1, 0, 1)]
+        return states, state_weights(states, 3)
+
+    def test_counts_energy_matches_expanded_energy(self):
+        from repro.core.potential import configuration_energy, counts_energy
+
+        states, weights = self._setup()
+        counts = [4, 2, 1]
+        expanded = [state for state, count in zip(states, counts) for _ in range(count)]
+        assert counts_energy(counts, weights) == configuration_energy(expanded, 3)
+
+    def test_weight_histogram_from_counts_matches_expanded(self):
+        from repro.core.potential import weight_histogram, weight_histogram_from_counts
+
+        states, weights = self._setup()
+        counts = [4, 2, 1]
+        expanded = [state for state, count in zip(states, counts) for _ in range(count)]
+        assert weight_histogram_from_counts(counts, weights) == weight_histogram(expanded, 3)
+
+    def test_ordinal_from_histogram_matches_expanded_potential(self):
+        from repro.core.potential import ordinal_potential, ordinal_potential_from_histogram
+
+        states, _ = self._setup()
+        expanded = states * 3
+        histogram = {}
+        from repro.core.potential import weight_histogram
+
+        histogram = weight_histogram(expanded, 3)
+        assert ordinal_potential_from_histogram(histogram) == ordinal_potential(expanded, 3)
+
+    def test_compare_weight_histograms_orders_like_the_ordinal(self):
+        from repro.core.potential import compare_weight_histograms
+
+        assert compare_weight_histograms({1: 2, 3: 1}, {1: 1, 2: 2}) == -1
+        assert compare_weight_histograms({1: 1, 2: 2}, {1: 2, 3: 1}) == 1
+        assert compare_weight_histograms({2: 3}, {2: 3}) == 0
+
+    def test_compare_weight_histograms_rejects_different_sizes(self):
+        import pytest
+
+        from repro.core.potential import compare_weight_histograms
+
+        with pytest.raises(ValueError, match="different population sizes"):
+            compare_weight_histograms({1: 2}, {1: 3})

@@ -93,3 +93,79 @@ class TestStableCircles:
         assert StableCircles().is_converged_configuration(protocol, Multiset(states))
         with pytest.raises(TypeError):
             StableCircles().is_converged_configuration(ExactMajorityProtocol(), Multiset())
+
+
+class TestCountLevelFastPaths:
+    """The count-level criterion variants must agree with the multiset ones."""
+
+    def _compiled_counts(self, protocol, states):
+        from repro.compile import compile_from_states
+
+        compiled = compile_from_states(protocol, set(states))
+        counts = [0] * compiled.num_states
+        for state in states:
+            counts[compiled.encode(state)] += 1
+        return compiled, counts
+
+    def test_output_consensus_on_counts(self):
+        protocol = CirclesProtocol(3)
+        agreed = [CirclesState(0, 1, 2), CirclesState(1, 0, 2), CirclesState(1, 0, 2)]
+        compiled, counts = self._compiled_counts(protocol, agreed)
+        assert OutputConsensus().is_converged_counts(protocol, compiled, counts)
+        assert OutputConsensus(target=2).is_converged_counts(protocol, compiled, counts)
+        assert not OutputConsensus(target=0).is_converged_counts(protocol, compiled, counts)
+
+    def test_output_consensus_on_single_state_population(self):
+        protocol = CirclesProtocol(3)
+        lone = [CirclesState(1, 1, 1)] * 4
+        compiled, counts = self._compiled_counts(protocol, lone)
+        assert OutputConsensus().is_converged_counts(protocol, compiled, counts)
+        assert OutputConsensus().is_converged(protocol, lone[:1])
+        assert OutputConsensus().is_converged_configuration(protocol, Multiset(lone))
+
+    def test_output_consensus_on_all_zero_counts(self):
+        protocol = CirclesProtocol(3)
+        compiled, counts = self._compiled_counts(protocol, [CirclesState(0, 0, 0)])
+        assert not OutputConsensus().is_converged_counts(protocol, compiled, [0] * len(counts))
+
+    def test_stable_circles_on_counts_matches_configuration_variant(self):
+        protocol = CirclesProtocol(2)
+        states = [CirclesState(0, 0, 0), CirclesState(0, 1, 0), CirclesState(1, 0, 0)]
+        compiled, counts = self._compiled_counts(protocol, states)
+        assert StableCircles().is_converged_counts(protocol, compiled, counts)
+        assert StableCircles().is_converged_configuration(protocol, Multiset(states))
+
+    def test_silent_configuration_has_no_counts_fast_path(self):
+        # Silence is answered by the engine's incremental tracker instead;
+        # the criterion itself defers so `incremental=False` stays a true
+        # from-scratch baseline.
+        protocol = CirclesProtocol(2)
+        states = [CirclesState(0, 0, 0)] * 2
+        compiled, counts = self._compiled_counts(protocol, states)
+        assert SilentConfiguration().is_converged_counts(protocol, compiled, counts) is None
+
+    def test_base_criterion_default_defers(self):
+        assert (
+            OutputConsensus.__mro__[1].is_converged_counts(
+                OutputConsensus(), CirclesProtocol(2), None, []
+            )
+            is None
+        )
+
+
+class TestCriterionEdgeCases:
+    def test_output_consensus_on_empty_states_and_configuration(self):
+        protocol = CirclesProtocol(2)
+        assert not OutputConsensus().is_converged(protocol, [])
+        assert not OutputConsensus().is_converged_configuration(protocol, Multiset())
+
+    def test_silent_on_empty_and_singleton_configurations(self):
+        protocol = CirclesProtocol(2)
+        # No present pair can interact: vacuously silent.
+        assert SilentConfiguration().is_converged(protocol, [])
+        assert SilentConfiguration().is_converged(protocol, [CirclesState(0, 1, 0)])
+
+    def test_stable_circles_on_empty_configuration(self):
+        protocol = CirclesProtocol(2)
+        assert not StableCircles().is_converged(protocol, [])
+        assert not StableCircles().is_converged_configuration(protocol, Multiset())
