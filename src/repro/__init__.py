@@ -14,11 +14,13 @@ The most common entry points are re-exported here:
 * :class:`CirclesProtocol` — the paper's protocol (``k^3`` states).
 * :func:`run_circles` / :func:`run_protocol` — simulate a protocol on an
   input color assignment under a (weakly fair) scheduler.  Both accept
-  ``engine="agent" | "configuration" | "batch"`` (see
+  ``engine="agent" | "configuration" | "batch" | "exact"`` (see
   :func:`get_engine`); the batched engine is the fast path for large
-  populations.  The configuration-level engines run on *compiled*
-  transition tables by default (:func:`compile_protocol`,
-  :mod:`repro.compile`); ``compiled=False`` forces Python dispatch.
+  populations, and the analytical ``"exact"`` engine (:mod:`repro.exact`)
+  solves the small-``n`` Markov chain instead of sampling it.  The
+  configuration-level engines run on *compiled* transition tables by
+  default (:func:`compile_protocol`, :mod:`repro.compile`);
+  ``compiled=False`` forces Python dispatch.
 * :class:`RunSpec` / :class:`SweepSpec` / :func:`run_sweep` — the
   declarative sweep layer (:mod:`repro.api`): describe runs and grids as
   plain data (every axis by registry name), execute them serially or over a
@@ -67,8 +69,15 @@ from repro.simulation.observers import (
     build_observer,
     register_observer,
 )
-from repro.simulation.registry import available_engines, get_engine
+from repro.simulation.registry import available_engines, get_engine, stochastic_engines
 from repro.simulation.runner import RunResult, run_circles, run_protocol
+from repro.exact import (
+    ConfigurationChain,
+    DistributionResult,
+    ExactMarkovEngine,
+    exact_correctness_probability,
+    exact_expected_convergence,
+)
 from repro.workloads.registry import get_workload, register_workload, workload_names
 from repro.api import RunRecord, RunSpec, SweepResult, SweepSpec, run_sweep
 
@@ -97,6 +106,12 @@ __all__ = [
     "register_protocol",
     "available_engines",
     "get_engine",
+    "stochastic_engines",
+    "ConfigurationChain",
+    "DistributionResult",
+    "ExactMarkovEngine",
+    "exact_correctness_probability",
+    "exact_expected_convergence",
     "Observer",
     "available_observers",
     "build_observer",

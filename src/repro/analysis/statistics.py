@@ -16,17 +16,23 @@ def mean(values: Sequence[float]) -> float:
     """The arithmetic mean (raises on empty input)."""
     if not values:
         raise ValueError("cannot summarize an empty sample")
-    return sum(values) / len(values)
+    return sum(float(value) for value in values) / len(values)
 
 
 def variance(values: Sequence[float]) -> float:
-    """The unbiased sample variance (zero for samples of size one)."""
+    """The unbiased sample variance (zero for samples of size one).
+
+    Computed in plain-python floats regardless of the element type, so
+    numpy scalars (which turn ``0.0 / 0.0``-adjacent edge cases into
+    ``RuntimeWarning``s instead of exceptions) never reach the arithmetic.
+    """
     if not values:
         raise ValueError("cannot summarize an empty sample")
     if len(values) == 1:
         return 0.0
     center = mean(values)
-    return sum((value - center) ** 2 for value in values) / (len(values) - 1)
+    total = sum((float(value) - center) ** 2 for value in values)
+    return total / (len(values) - 1)
 
 
 def std_dev(values: Sequence[float]) -> float:
@@ -49,21 +55,35 @@ def quantile(values: Sequence[float], q: float) -> float:
     if low == high:
         return float(ordered[low])
     fraction = position - low
-    return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+    # Interpolate as low + f·(high - low): the convex-combination spelling
+    # (l·(1-f) + h·f) underflows below the sample range for subnormal
+    # values (e.g. quantile([5e-324, 5e-324], 0.5) returned 0.0).
+    low_value = float(ordered[low])
+    return low_value + fraction * (float(ordered[high]) - low_value)
 
 
 def confidence_interval(
     values: Sequence[float], confidence: float = 0.95
 ) -> tuple[float, float]:
-    """A normal-approximation confidence interval for the mean."""
+    """A normal-approximation confidence interval for the mean.
+
+    Zero-variance samples (every outcome identical — routine for
+    correctness rates that are exactly 100%) short-circuit to the
+    degenerate interval ``(mean, mean)`` instead of running the
+    ``z·s/√n`` arithmetic, so no division or warning machinery is touched
+    on that path.
+    """
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must lie strictly between 0 and 1")
     center = mean(values)
     if len(values) == 1:
         return (center, center)
+    spread = std_dev(values)
+    if spread == 0.0:
+        return (center, center)
     # Two-sided z value via the probit function approximation.
     z = _probit(0.5 + confidence / 2)
-    half_width = z * std_dev(values) / math.sqrt(len(values))
+    half_width = z * spread / math.sqrt(len(values))
     return (center - half_width, center + half_width)
 
 

@@ -203,7 +203,13 @@ def _protocol_runner(spec: RunSpec) -> RunRecord:
             compiled=spec.compiled,
             observers=spec.observers,
         )
-    extras = {"observers": result.observer_summaries} if result.observer_summaries else {}
+    extras: dict[str, object] = {}
+    if result.observer_summaries:
+        extras["observers"] = result.observer_summaries
+    if result.exact is not None:
+        # The analytical engine's DistributionResult payload; JSON-native by
+        # construction, so the record round trip stays lossless.
+        extras["exact"] = result.exact
     return RunRecord.from_result(spec, result, extras=extras)
 
 

@@ -79,6 +79,19 @@ class RunRecord:
             extras=dict(extras or {}),
         )
 
+    def exact_result(self):
+        """The analytical :class:`~repro.exact.result.DistributionResult`.
+
+        Rebuilt from ``extras["exact"]`` for records produced with
+        ``engine="exact"``; ``None`` for sampled runs.
+        """
+        payload = self.extras.get("exact")
+        if payload is None:
+            return None
+        from repro.exact.result import DistributionResult
+
+        return DistributionResult.from_dict(payload)
+
     def summary(self) -> dict[str, Any]:
         """A flat dictionary for tabular reports (extras inlined)."""
         base: dict[str, Any] = {

@@ -1,0 +1,349 @@
+"""Stable classes, absorption probabilities and exact expected hitting times.
+
+A finite Markov chain enters one of its **closed communicating classes**
+(recurrent classes) with probability one and never leaves it.  For a
+population protocol under the uniform random scheduler those classes are
+exactly the *stable outcomes* of a run: a silent configuration is a singleton
+class, and protocols whose stabilized configurations still shuffle internally
+(output copying in Circles, swap-only dynamics) form larger classes.  This
+module computes, exactly:
+
+* the closed classes of a :class:`~repro.exact.chain.ConfigurationChain`
+  (iterative Tarjan SCC over the sparse rows);
+* the **absorption probability** into each class from the initial
+  configuration (fundamental-matrix solve, one right-hand side per class);
+* the **expected number of interactions** until absorption, and the expected
+  number of *changing* interactions among them;
+* expected **hitting times of arbitrary configuration predicates**
+  (:func:`hitting_analysis`) — the exact analogue of running a stochastic
+  engine until a :class:`~repro.simulation.convergence.ConvergenceCriterion`
+  first holds.
+
+All quantities come back in the chain's arithmetic: exact ``Fraction`` in
+``"exact"`` mode, float64 otherwise (numpy-accelerated solves when
+available; see :mod:`repro.exact.solve`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.exact.chain import ConfigurationChain
+from repro.exact.solve import DEFAULT_MAX_TRANSIENT, solve_transient_systems
+
+Number = Fraction | float
+
+
+def strongly_connected_components(
+    rows: Sequence[dict[int, Number]],
+) -> list[list[int]]:
+    """Tarjan's SCC algorithm, iteratively (chains can be deep), over sparse rows.
+
+    Returns the components in reverse topological order (every edge goes from
+    a later component to an earlier one or stays inside its component), each
+    component sorted ascending.
+    """
+    size = len(rows)
+    index_of = [-1] * size
+    low_link = [0] * size
+    on_stack = [False] * size
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+    for root in range(size):
+        if index_of[root] != -1:
+            continue
+        work: list[tuple[int, list[int], int]] = [(root, list(rows[root]), 0)]
+        while work:
+            node, successors, position = work.pop()
+            if position == 0:
+                index_of[node] = low_link[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            else:
+                # Returning from a child: fold its low-link into ours.
+                child = successors[position - 1]
+                low_link[node] = min(low_link[node], low_link[child])
+            advanced = False
+            while position < len(successors):
+                successor = successors[position]
+                position += 1
+                if index_of[successor] == -1:
+                    work.append((node, successors, position))
+                    work.append((successor, list(rows[successor]), 0))
+                    advanced = True
+                    break
+                if on_stack[successor]:
+                    low_link[node] = min(low_link[node], index_of[successor])
+            if advanced:
+                continue
+            if low_link[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                component.sort()
+                components.append(component)
+    return components
+
+
+def closed_classes(rows: Sequence[dict[int, Number]]) -> list[list[int]]:
+    """The closed (recurrent) communicating classes of the chain.
+
+    A strongly connected component is closed when no member has an edge
+    leaving the component; classes come back sorted by their smallest
+    configuration index, so class numbering is deterministic.
+    """
+    closed: list[list[int]] = []
+    for component in strongly_connected_components(rows):
+        members = set(component)
+        if all(target in members for node in component for target in rows[node]):
+            closed.append(component)
+    closed.sort(key=lambda component: component[0])
+    return closed
+
+
+@dataclass(frozen=True)
+class AbsorptionAnalysis:
+    """Exact absorption behavior of one chain, from its initial configuration.
+
+    Attributes:
+        classes: the closed classes (configuration indices, each sorted).
+        transient: every configuration outside all closed classes, ascending.
+        class_probabilities: absorption probability per class (same order as
+            ``classes``); sums to one.
+        expected_interactions: exact expected interactions until the chain
+            enters a closed class (0 when it starts in one).
+        expected_changed_interactions: expected interactions *that change at
+            least one agent's state* until absorption.
+    """
+
+    classes: list[list[int]]
+    transient: list[int]
+    class_probabilities: list[Number]
+    expected_interactions: Number
+    expected_changed_interactions: Number
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    def class_of(self, index: int) -> int | None:
+        """Which closed class a configuration index belongs to, if any."""
+        for class_index, members in enumerate(self.classes):
+            if index in members:
+                return class_index
+        return None
+
+
+def analyze_absorption(
+    chain: ConfigurationChain,
+    *,
+    max_transient: int | None = DEFAULT_MAX_TRANSIENT,
+) -> AbsorptionAnalysis:
+    """Compute the full absorption picture of a chain.
+
+    One fundamental-matrix solve with ``2 + #classes`` right-hand sides:
+    expected interactions, expected changed interactions, and one absorption
+    column per closed class.
+    """
+    exact = chain.arithmetic == "exact"
+    zero: Number = Fraction(0) if exact else 0.0
+    one: Number = Fraction(1) if exact else 1.0
+    classes = closed_classes(chain.rows)
+    in_class: dict[int, int] = {}
+    for class_index, members in enumerate(classes):
+        for member in members:
+            in_class[member] = class_index
+    transient = [
+        index for index in range(chain.num_configurations) if index not in in_class
+    ]
+    initial = chain.initial_index
+    if initial in in_class:
+        probabilities = [zero] * len(classes)
+        probabilities[in_class[initial]] = one
+        return AbsorptionAnalysis(
+            classes=classes,
+            transient=transient,
+            class_probabilities=probabilities,
+            expected_interactions=zero,
+            expected_changed_interactions=zero,
+        )
+    ones = [one] * len(transient)
+    change = [chain.change_probability[index] for index in transient]
+    class_columns: list[list[Number]] = []
+    for class_index, members in enumerate(classes):
+        member_set = set(members)
+        column = []
+        for index in transient:
+            mass = zero
+            for target, probability in chain.rows[index].items():
+                if target in member_set:
+                    mass = mass + probability
+            column.append(mass)
+        class_columns.append(column)
+    solutions = solve_transient_systems(
+        chain.rows,
+        transient,
+        [ones, change, *class_columns],
+        exact=exact,
+        max_transient=max_transient,
+    )
+    position = transient.index(initial)
+    expected = solutions[0][position]
+    expected_changed = solutions[1][position]
+    probabilities = [solutions[2 + i][position] for i in range(len(classes))]
+    return AbsorptionAnalysis(
+        classes=classes,
+        transient=transient,
+        class_probabilities=probabilities,
+        expected_interactions=expected,
+        expected_changed_interactions=expected_changed,
+    )
+
+
+@dataclass(frozen=True)
+class HittingAnalysis:
+    """Exact first-hitting behavior of a configuration predicate.
+
+    Attributes:
+        target: the configuration indices satisfying the predicate.
+        almost_sure: whether the target is hit with probability one.
+            Decided **structurally** (no state reachable from the initial
+            configuration, with the target made absorbing, can escape into a
+            region that cannot reach the target), so the verdict is exact in
+            float mode too — a solver result of ``1 - O(ulp)`` cannot flip
+            it.
+        probability: the probability the chain ever hits the target set
+            (exactly one when ``almost_sure``).
+        expected_interactions: exact expected interactions until the first
+            hit (0 when the initial configuration already satisfies the
+            predicate; ``None`` when the hit is not almost sure, where the
+            conditional expectation is not the quantity engines report).
+        expected_changed_interactions: expected changing interactions until
+            the first hit (``None`` alongside ``expected_interactions``).
+    """
+
+    target: list[int]
+    almost_sure: bool
+    probability: Number
+    expected_interactions: Number | None
+    expected_changed_interactions: Number | None
+
+
+def hitting_analysis(
+    chain: ConfigurationChain,
+    predicate: Callable[[int], bool],
+    *,
+    max_transient: int | None = DEFAULT_MAX_TRANSIENT,
+) -> HittingAnalysis:
+    """Exact first-hitting analysis of ``{configurations where predicate holds}``.
+
+    ``predicate`` receives a configuration *index*; use
+    ``chain.configuration(index)`` to inspect the multiset (e.g. evaluate a
+    :class:`~repro.simulation.convergence.ConvergenceCriterion` through
+    ``is_converged_configuration``).
+    """
+    exact = chain.arithmetic == "exact"
+    zero: Number = Fraction(0) if exact else 0.0
+    one: Number = Fraction(1) if exact else 1.0
+    target = [
+        index for index in range(chain.num_configurations) if predicate(index)
+    ]
+    target_set = set(target)
+    if chain.initial_index in target_set:
+        return HittingAnalysis(
+            target=target,
+            almost_sure=True,
+            probability=one,
+            expected_interactions=zero,
+            expected_changed_interactions=zero,
+        )
+    if not target:
+        return HittingAnalysis(
+            target=target,
+            almost_sure=False,
+            probability=zero,
+            expected_interactions=None,
+            expected_changed_interactions=None,
+        )
+    # Restrict to the non-target configurations that can still reach the
+    # target (reverse BFS); from them, leaving the restricted set is almost
+    # sure, so (I - Q) is nonsingular.
+    predecessors: dict[int, list[int]] = {}
+    for index, row in enumerate(chain.rows):
+        for successor in row:
+            predecessors.setdefault(successor, []).append(index)
+    can_reach: set[int] = set()
+    frontier = list(target)
+    while frontier:
+        node = frontier.pop()
+        for predecessor in predecessors.get(node, ()):
+            if predecessor not in target_set and predecessor not in can_reach:
+                can_reach.add(predecessor)
+                frontier.append(predecessor)
+    if chain.initial_index not in can_reach:
+        return HittingAnalysis(
+            target=target,
+            almost_sure=False,
+            probability=zero,
+            expected_interactions=None,
+            expected_changed_interactions=None,
+        )
+    # Structural almost-sureness: walk forward from the initial
+    # configuration with the target made absorbing.  The hit has probability
+    # exactly one iff no walked state steps into the no-return region
+    # (outside target ∪ can_reach) — a graph fact, independent of solver
+    # rounding, so float mode cannot misclassify an almost-sure hit.
+    almost_sure = True
+    walked = {chain.initial_index}
+    walk = [chain.initial_index]
+    while walk and almost_sure:
+        node = walk.pop()
+        for successor in chain.rows[node]:
+            if successor in target_set or successor in walked:
+                continue
+            if successor not in can_reach:
+                almost_sure = False
+                break
+            walked.add(successor)
+            walk.append(successor)
+    system = sorted(can_reach)
+    hit_columns: list[Number] = []
+    for index in system:
+        mass = zero
+        for successor, probability in chain.rows[index].items():
+            if successor in target_set:
+                mass = mass + probability
+        hit_columns.append(mass)
+    ones = [one] * len(system)
+    change = [chain.change_probability[index] for index in system]
+    solutions = solve_transient_systems(
+        chain.rows,
+        system,
+        [hit_columns, ones, change],
+        exact=exact,
+        max_transient=max_transient,
+    )
+    position = system.index(chain.initial_index)
+    if almost_sure:
+        return HittingAnalysis(
+            target=target,
+            almost_sure=True,
+            probability=one,
+            expected_interactions=solutions[1][position],
+            expected_changed_interactions=solutions[2][position],
+        )
+    return HittingAnalysis(
+        target=target,
+        almost_sure=False,
+        probability=solutions[0][position],
+        expected_interactions=None,
+        expected_changed_interactions=None,
+    )

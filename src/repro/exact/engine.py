@@ -1,0 +1,348 @@
+"""The exact Markov-chain engine — ``get_engine("exact")``.
+
+Where the stochastic engines *sample* the uniform-random-scheduler chain, the
+exact engine *solves* it: ``run`` enumerates the reachable configuration
+space (:class:`~repro.exact.chain.ConfigurationChain`), computes absorption
+probabilities into every stable class, the exact expected number of
+interactions to convergence and the exact correctness probability
+(:mod:`repro.exact.absorption`), and reports them as a
+:class:`~repro.exact.result.DistributionResult` on
+:attr:`ExactMarkovEngine.distribution_result`.
+
+The engine implements the shared :class:`~repro.simulation.base.SimulationEngine`
+surface so it drives through ``run_protocol`` / ``run_circles``, ``RunSpec``
+sweeps and the experiment harness like any other engine, with these
+deliberate differences (it is an analytical engine, not a sampler):
+
+* ``seed`` is accepted and ignored — there is no randomness;
+* ``max_steps`` does not bound any loop; it only caps the *reported*
+  ``steps_taken`` when the criterion is not almost surely reached (matching
+  a stochastic engine that exhausts its budget);
+* after ``run``, ``steps_taken`` / ``interactions_changed`` hold the exact
+  **expected** interaction counts (floats in float mode, exact rationals
+  coerced to float for reporting), and ``states()`` returns the *modal*
+  stable outcome — a representative configuration of the most probable
+  stable class — so ``outputs()`` and downstream reporting stay meaningful;
+* observers may be attached but never receive ``on_delta`` events (no
+  trajectory is simulated); ``on_finish`` fires as usual.
+
+State-space limits: the chain is enumerated exhaustively, so the engine is
+for *small* populations (the cap raises
+:class:`~repro.exact.chain.ChainTooLarge`, and the fundamental-matrix solve
+is guarded by :class:`~repro.exact.solve.SolveTooLarge`).  That is the point:
+at small ``n`` it is ground truth the stochastic engines are conformance-
+tested against, not a fast path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from fractions import Fraction
+from typing import ClassVar, TypeVar
+
+from repro.core.greedy_sets import has_unique_majority, predicted_majority
+from repro.exact.absorption import (
+    AbsorptionAnalysis,
+    HittingAnalysis,
+    analyze_absorption,
+    hitting_analysis,
+)
+from repro.exact.chain import (
+    DEFAULT_MAX_CONFIGURATIONS,
+    ConfigurationChain,
+    expand_multiset,
+)
+from repro.exact.result import (
+    DistributionResult,
+    StableClassSummary,
+    as_float,
+    as_probability,
+    rational_string,
+)
+from repro.exact.solve import DEFAULT_MAX_TRANSIENT
+from repro.protocols.base import PopulationProtocol
+from repro.simulation.base import SimulationEngine, TransitionObserver
+from repro.simulation.convergence import ConvergenceCriterion
+from repro.utils.multiset import Multiset
+from repro.utils.rng import RngLike
+
+State = TypeVar("State", bound=Hashable)
+
+
+class ExactMarkovEngine(SimulationEngine[State]):
+    """Exact distribution-level analysis behind the engine interface."""
+
+    engine_name: ClassVar[str] = "exact"
+    tracks_agents: ClassVar[bool] = False
+    #: The exact engine solves the chain instead of sampling trajectories;
+    #: trajectory-level suites (conformance matrix, agreement tests) filter
+    #: on this flag.
+    samples_trajectories: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol[State],
+        initial: Iterable[State] | Multiset[State],
+        seed: RngLike = None,
+        transition_observer: TransitionObserver | None = None,
+        compiled: bool | None = None,
+        arithmetic: str = "float",
+        max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
+        max_transient: int | None = DEFAULT_MAX_TRANSIENT,
+    ) -> None:
+        self.protocol = protocol
+        configuration = initial if isinstance(initial, Multiset) else Multiset(initial)
+        if len(configuration) < 2:
+            raise ValueError("a population needs at least two agents")
+        self._initial = configuration.copy()
+        self._num_agents = len(configuration)
+        self._compiled_flag = compiled
+        self.arithmetic = arithmetic
+        self.max_configurations = max_configurations
+        self.max_transient = max_transient
+        self.steps_taken = 0
+        self.interactions_changed = 0
+        self._chain: ConfigurationChain[State] | None = None
+        self._final: Multiset[State] | None = None
+        #: The :class:`DistributionResult` of the last ``run`` (None before).
+        self.distribution_result: DistributionResult | None = None
+        self._init_observers(transition_observer)
+
+    @classmethod
+    def from_colors(
+        cls,
+        protocol: PopulationProtocol[State],
+        colors: Iterable[int],
+        seed: RngLike = None,
+        transition_observer: TransitionObserver | None = None,
+        compiled: bool | None = None,
+        **kwargs: object,
+    ) -> "ExactMarkovEngine[State]":
+        """Create the initial configuration from input colors."""
+        return cls(
+            protocol,
+            (protocol.initial_state(color) for color in colors),
+            seed,
+            transition_observer=transition_observer,
+            compiled=compiled,
+            **kwargs,
+        )
+
+    # -- engine surface --------------------------------------------------------
+
+    @property
+    def num_agents(self) -> int:
+        return self._num_agents
+
+    def states(self) -> list[State]:
+        """The initial configuration before ``run``; the modal stable outcome after."""
+        return expand_multiset(
+            self._final if self._final is not None else self._initial
+        )
+
+    def configuration(self) -> Multiset[State]:
+        """A copy of the configuration :meth:`states` reports."""
+        source = self._final if self._final is not None else self._initial
+        return source.copy()
+
+    @property
+    def chain(self) -> ConfigurationChain[State]:
+        """The underlying configuration chain (built on first use)."""
+        if self._chain is None:
+            self._chain = ConfigurationChain(
+                self.protocol,
+                self._initial,
+                arithmetic=self.arithmetic,
+                max_configurations=self.max_configurations,
+                compiled=self._compiled_flag,
+            )
+        return self._chain
+
+    def _advance(self, max_interactions: int) -> int:  # pragma: no cover - unreachable
+        raise RuntimeError(
+            "the exact engine does not sample trajectories; call run()"
+        )
+
+    def _converged(self, criterion) -> bool:  # pragma: no cover - unreachable
+        raise RuntimeError(
+            "the exact engine does not sample trajectories; call run()"
+        )
+
+    # -- the solve -------------------------------------------------------------
+
+    def run(
+        self,
+        max_steps: int,
+        criterion: ConvergenceCriterion[State] | None = None,
+        check_interval: int | None = None,
+    ) -> bool:
+        """Solve the chain instead of simulating it.
+
+        Args:
+            max_steps: no loop to bound; only caps the reported
+                ``steps_taken`` when the criterion is not almost sure.
+            criterion: when given, the exact first-hitting analysis of the
+                criterion (probability it ever holds, expected interactions
+                until it first does) is computed alongside absorption; the
+                returned verdict is "the criterion holds almost surely".
+            check_interval: accepted for interface compatibility (validated,
+                otherwise ignored — exact analysis has no checking cadence).
+
+        Returns:
+            With a criterion: whether it is almost surely eventually
+            satisfied.  Without one: True (a finite chain enters a stable
+            class almost surely).
+        """
+        self._validate_run_arguments(max_steps, check_interval)
+        chain = self.chain
+        absorption = analyze_absorption(chain, max_transient=self.max_transient)
+        hitting: HittingAnalysis | None = None
+        if criterion is not None:
+            protocol = self.protocol
+            hitting = hitting_analysis(
+                chain,
+                lambda index: criterion.is_converged_configuration(
+                    protocol, chain.configuration(index)
+                ),
+                max_transient=self.max_transient,
+            )
+        self.distribution_result = self._build_result(chain, absorption, hitting, criterion)
+        self._final = self._modal_outcome(chain, absorption)
+        if hitting is not None:
+            converged = hitting.almost_sure
+            if converged:
+                self.steps_taken = as_float(hitting.expected_interactions)
+                self.interactions_changed = as_float(hitting.expected_changed_interactions)
+            else:
+                self.steps_taken = max_steps
+                self.interactions_changed = as_float(
+                    absorption.expected_changed_interactions
+                )
+        else:
+            converged = True
+            self.steps_taken = as_float(absorption.expected_interactions)
+            self.interactions_changed = as_float(
+                absorption.expected_changed_interactions
+            )
+        return self._finish(converged)
+
+    def _modal_outcome(
+        self, chain: ConfigurationChain[State], absorption: AbsorptionAnalysis
+    ) -> Multiset[State]:
+        """A representative configuration of the most probable stable class."""
+        best = max(
+            range(len(absorption.classes)),
+            key=lambda i: (absorption.class_probabilities[i], -i),
+        )
+        representative = absorption.classes[best][0]
+        return chain.configuration(representative)
+
+    def _build_result(
+        self,
+        chain: ConfigurationChain[State],
+        absorption: AbsorptionAnalysis,
+        hitting: HittingAnalysis | None,
+        criterion: ConvergenceCriterion[State] | None,
+    ) -> DistributionResult:
+        protocol = self.protocol
+        colors = self._input_colors()
+        majority = (
+            predicted_majority(colors)
+            if colors is not None and has_unique_majority(colors)
+            else None
+        )
+        classes: list[StableClassSummary] = []
+        correctness: Fraction | float | None = None
+        for class_index, members in enumerate(absorption.classes):
+            probability = absorption.class_probabilities[class_index]
+            unanimous = self._unanimous_output(chain, members)
+            correct = None if majority is None else unanimous == majority
+            if correct:
+                correctness = probability if correctness is None else correctness + probability
+            example_config = chain.configuration(members[0])
+            example = [
+                [repr(state), count]
+                for state, count in sorted(
+                    example_config.items(), key=lambda item: repr(item[0])
+                )
+            ]
+            classes.append(
+                StableClassSummary(
+                    index=class_index,
+                    size=len(members),
+                    probability=as_probability(probability),
+                    probability_exact=rational_string(probability),
+                    unanimous_output=unanimous,
+                    correct=correct,
+                    example=example,
+                )
+            )
+        if majority is not None and correctness is None:
+            correctness = Fraction(0) if chain.arithmetic == "exact" else 0.0
+        if majority is not None and classes and all(entry.correct for entry in classes):
+            # Structural fact: the chain enumerates only reachable
+            # configurations, so "every stable class is correct" means the
+            # correctness probability is exactly one — don't let float-mode
+            # solver rounding (1 - O(ulp)) blur an almost-sure verdict.
+            correctness = Fraction(1) if chain.arithmetic == "exact" else 1.0
+        return DistributionResult(
+            protocol_name=protocol.name,
+            num_agents=self._num_agents,
+            num_colors=protocol.num_colors,
+            arithmetic=chain.arithmetic,
+            num_configurations=chain.num_configurations,
+            num_transient=len(absorption.transient),
+            num_classes=absorption.num_classes,
+            majority=majority,
+            correctness_probability=as_probability(correctness),
+            correctness_probability_exact=rational_string(correctness),
+            expected_interactions=as_float(absorption.expected_interactions),
+            expected_interactions_exact=rational_string(absorption.expected_interactions),
+            expected_changed_interactions=as_float(
+                absorption.expected_changed_interactions
+            ),
+            criterion=getattr(criterion, "name", None) if criterion is not None else None,
+            criterion_probability=(
+                None if hitting is None else as_probability(hitting.probability)
+            ),
+            expected_interactions_to_criterion=(
+                None if hitting is None else as_float(hitting.expected_interactions)
+            ),
+            expected_changed_to_criterion=(
+                None if hitting is None else as_float(hitting.expected_changed_interactions)
+            ),
+            classes=classes,
+        )
+
+    def _unanimous_output(
+        self, chain: ConfigurationChain[State], members: list[int]
+    ) -> int | None:
+        """The single output color all agents report across a whole class."""
+        common: int | None = None
+        output = self.protocol.output
+        for member in members:
+            for state in chain.configuration(member).support():
+                color = output(state)
+                if common is None:
+                    common = color
+                elif color != common:
+                    return None
+        return common
+
+    def _input_colors(self) -> list[int] | None:
+        """Recover input colors when the initial states are initial states.
+
+        The correctness probability is defined relative to the input's
+        unique majority; when the engine was constructed from arbitrary
+        mid-run states (no color-preimage), majority-based fields are None.
+        """
+        colors: list[int] = []
+        initial_of: dict[State, int] = {}
+        for color in range(self.protocol.num_colors):
+            initial_of.setdefault(self.protocol.initial_state(color), color)
+        for state, count in self._initial.items():
+            color = initial_of.get(state)
+            if color is None:
+                return None
+            colors.extend([color] * count)
+        return colors

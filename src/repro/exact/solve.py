@@ -1,0 +1,165 @@
+"""Linear solves for the exact Markov-chain analyses.
+
+Every quantity :mod:`repro.exact.absorption` computes — absorption
+probabilities, expected interactions to convergence, expected changed
+interactions — is the solution of one linear system ``(I - Q)·x = b`` over
+the transient (or non-target) configurations, with a handful of right-hand
+sides sharing the same matrix (the classic fundamental-matrix solve).
+
+Two backends:
+
+* **numpy** (float mode, when importable) — one ``numpy.linalg.solve`` call
+  with all right-hand sides stacked, the fast path for the experiment
+  columns;
+* **pure python** — Gaussian elimination with partial pivoting, shared by
+  the exact-rational mode (``fractions.Fraction`` rows stay ``Fraction``
+  throughout, so golden results are exact) and by float mode on machines
+  without numpy.
+
+Systems here are diagonally dominated by construction (rows of ``Q`` are
+substochastic), so partial pivoting is ample; matrices are dense once
+restricted to the transient set, which bounds the practical size — callers
+cap it (:data:`DEFAULT_MAX_TRANSIENT`) and degrade gracefully.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+#: Guard on the dense ``(I - Q)`` solve: cubic cost makes larger systems
+#: impractical, especially on the pure-python backend.  Callers that can
+#: degrade (the E6 exact column) treat a larger transient set like a
+#: too-large chain.
+DEFAULT_MAX_TRANSIENT = 1500
+
+
+class SolveTooLarge(RuntimeError):
+    """The transient system exceeded the caller's dense-solve cap."""
+
+
+def _numpy():
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised on numpy-less CI only
+        return None
+    return numpy
+
+
+def practical_max_transient() -> int:
+    """A dense-solve cap matched to the available backend.
+
+    The numpy solve handles :data:`DEFAULT_MAX_TRANSIENT` comfortably; the
+    pure-python elimination is cubic interpreted code, so opportunistic
+    callers (the E6 exact column) cap much lower without numpy and render
+    "—" instead of stalling.
+    """
+    return DEFAULT_MAX_TRANSIENT if _numpy() is not None else 300
+
+
+def gaussian_solve(
+    matrix: list[list[Fraction | float]],
+    rhs_columns: list[list[Fraction | float]],
+) -> list[list[Fraction | float]]:
+    """Solve ``matrix · x = b`` for every column in ``rhs_columns``.
+
+    Plain Gaussian elimination with partial pivoting, in place on copies.
+    Works over ``Fraction`` (exactly) and ``float`` alike.
+
+    Raises:
+        ZeroDivisionError: when the matrix is singular (callers prevent this
+            structurally: every transient configuration leaves the transient
+            set with positive probability).
+    """
+    size = len(matrix)
+    a = [list(row) for row in matrix]
+    b = [list(column) for column in rhs_columns]
+    for pivot_row in range(size):
+        pivot = max(range(pivot_row, size), key=lambda r: abs(a[r][pivot_row]))
+        if pivot != pivot_row:
+            a[pivot_row], a[pivot] = a[pivot], a[pivot_row]
+            for column in b:
+                column[pivot_row], column[pivot] = column[pivot], column[pivot_row]
+        head = a[pivot_row][pivot_row]
+        for row in range(pivot_row + 1, size):
+            factor = a[row][pivot_row] / head
+            if not factor:
+                continue
+            row_values = a[row]
+            pivot_values = a[pivot_row]
+            for column_index in range(pivot_row, size):
+                row_values[column_index] -= factor * pivot_values[column_index]
+            for column in b:
+                column[row] -= factor * column[pivot_row]
+    solutions = []
+    for column in b:
+        x = [column[i] for i in range(size)]
+        for row in range(size - 1, -1, -1):
+            total = x[row]
+            row_values = a[row]
+            for column_index in range(row + 1, size):
+                total -= row_values[column_index] * x[column_index]
+            x[row] = total / row_values[row]
+        solutions.append(x)
+    return solutions
+
+
+def solve_transient_systems(
+    rows: Sequence[dict[int, Fraction | float]],
+    transient: Sequence[int],
+    rhs_columns: Sequence[Sequence[Fraction | float]],
+    *,
+    exact: bool,
+    max_transient: int | None = DEFAULT_MAX_TRANSIENT,
+) -> list[list[Fraction | float]]:
+    """Solve ``(I - Q)·x = b`` over the ``transient`` configuration indices.
+
+    Args:
+        rows: the chain's sparse transition rows (global indices).
+        transient: the global indices forming the system, in order; ``Q`` is
+            ``rows`` restricted to ``transient × transient``.
+        rhs_columns: right-hand sides, one vector per requested solve, each
+            indexed like ``transient``.
+        exact: True for ``Fraction`` arithmetic (pure-python backend), False
+            for float64 (numpy-accelerated when available).
+        max_transient: dense-size guard; ``None`` disables it.
+
+    Returns:
+        One solution vector per right-hand side, indexed like ``transient``.
+    """
+    size = len(transient)
+    if max_transient is not None and size > max_transient:
+        raise SolveTooLarge(
+            f"transient system of size {size} exceeds the dense-solve cap of "
+            f"{max_transient}"
+        )
+    if size == 0:
+        return [[] for _ in rhs_columns]
+    local = {global_index: i for i, global_index in enumerate(transient)}
+    zero: Fraction | float = Fraction(0) if exact else 0.0
+    one: Fraction | float = Fraction(1) if exact else 1.0
+    numpy = None if exact else _numpy()
+    if numpy is not None:
+        a = numpy.zeros((size, size), dtype=numpy.float64)
+        for i, global_index in enumerate(transient):
+            a[i, i] = 1.0
+            for target, probability in rows[global_index].items():
+                j = local.get(target)
+                if j is not None:
+                    a[i, j] -= float(probability)
+        b = numpy.array(
+            [[float(value) for value in column] for column in rhs_columns],
+            dtype=numpy.float64,
+        ).T
+        solved = numpy.linalg.solve(a, b)
+        return [[float(solved[i, c]) for i in range(size)] for c in range(len(rhs_columns))]
+    matrix = []
+    for global_index in transient:
+        row = [zero] * size
+        row[local[global_index]] = one
+        for target, probability in rows[global_index].items():
+            j = local.get(target)
+            if j is not None:
+                row[j] -= probability
+        matrix.append(row)
+    return gaussian_solve(matrix, [list(column) for column in rhs_columns])

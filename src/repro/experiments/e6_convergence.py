@@ -25,16 +25,56 @@ table from the aggregated records.  Every trial of every protocol at a sweep
 point runs on *identical* input colors (the sweep API derives one workload
 seed per (k, n, workload) point), which is what makes the correctness-rate
 columns a paired comparison.
+
+For small populations (``n ≤ exact_max_n``) the table also carries the
+**exact expected interactions to convergence** from the analytical engine
+(:mod:`repro.exact`): the expected first-hitting time of the run's stopping
+criterion in the uniform-random-scheduler Markov chain, computed on the very
+same workload colors the empirical trials used.  Rows whose configuration
+space is too large for the exact solve show "—".
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.api.executor import run_sweep
+from repro.api.executor import resolve_workload, run_sweep
 from repro.api.spec import SweepSpec, derive_seed
+from repro.exact import ChainTooLarge, SolveTooLarge, exact_expected_convergence
+from repro.exact.solve import practical_max_transient
 from repro.protocols.registry import get_protocol
+from repro.simulation.convergence import OutputConsensus, StableCircles
 from repro.experiments.harness import ExperimentResult
+
+#: Configuration-space cap for the exact column (keeps the enumeration cheap
+#: even for protocols whose δ-closure does not compile, e.g. tournament at
+#: k ≥ 4 — those rows degrade to "—").
+EXACT_MAX_CONFIGURATIONS = 4_000
+
+
+def exact_expected_cell(protocol_name: str, k: int, colors: list[int]) -> str:
+    """The exact-column cell for one sweep point, or "—" when infeasible.
+
+    Uses the same stopping criterion the empirical runs measured
+    (:class:`StableCircles` for Circles via ``run_circles``,
+    :class:`OutputConsensus` otherwise) so the column is directly comparable
+    to the empirical mean next to it.
+    """
+    protocol = get_protocol(protocol_name, k)
+    criterion = StableCircles() if protocol_name == "circles" else OutputConsensus()
+    try:
+        expected = exact_expected_convergence(
+            protocol,
+            colors,
+            criterion,
+            max_configurations=EXACT_MAX_CONFIGURATIONS,
+            max_transient=practical_max_transient(),
+        )
+    except (ChainTooLarge, SolveTooLarge):
+        return "—"
+    if expected is None:  # criterion not almost surely reached
+        return "∞"
+    return f"{expected:.1f}"
 
 
 def _protocol_names_for(k: int) -> tuple[str, ...]:
@@ -52,7 +92,7 @@ def _workload_names_for(k: int, adversarial: bool) -> tuple[str, ...]:
 
 
 def sweep_specs(
-    populations: Iterable[int] = (16, 32, 64),
+    populations: Iterable[int] = (8, 16, 32, 64),
     ks: Iterable[int] = (2, 4),
     trials: int = 4,
     seed: int = 59,
@@ -88,13 +128,14 @@ def sweep_specs(
 
 
 def run(
-    populations: Iterable[int] = (16, 32, 64),
+    populations: Iterable[int] = (8, 16, 32, 64),
     ks: Iterable[int] = (2, 4),
     trials: int = 4,
     seed: int = 59,
     adversarial: bool = True,
     engine: str = "batch",
     workers: int | None = None,
+    exact_max_n: int = 8,
 ) -> ExperimentResult:
     """Build the E6 convergence/correctness comparison table.
 
@@ -106,6 +147,10 @@ def run(
             the default is the batched fast path, which is what makes the
             large-``n`` convergence sweeps tractable.
         workers: optional process-pool size for the underlying sweeps.
+        exact_max_n: populations up to this size get the analytical
+            "exact E[interactions]" column (the expected first-hitting time
+            of the stopping criterion in the exact configuration chain,
+            :mod:`repro.exact`); larger rows show "—".
     """
     result = ExperimentResult(
         experiment_id="E6",
@@ -117,6 +162,7 @@ def run(
             "k",
             "states",
             "mean interactions",
+            "exact E[interactions]",
             "correct runs",
         ),
     )
@@ -125,7 +171,19 @@ def run(
         rows = sweep_result.aggregate(
             value="steps", by=("protocol", "workload", "n", "k"), stats=("mean",)
         )
+        specs_by_point = {
+            (record.protocol_name, record.spec.workload, record.num_agents, record.num_colors): record.spec
+            for record in sweep_result.records
+        }
         for row in rows:
+            point = (row["protocol"], row["workload"], row["n"], row["k"])
+            if row["n"] <= exact_max_n and point in specs_by_point:
+                # Trials at a sweep point share one workload seed, so this
+                # reproduces the exact colors every empirical trial used.
+                colors = resolve_workload(specs_by_point[point])
+                exact_cell = exact_expected_cell(row["protocol"], row["k"], colors)
+            else:
+                exact_cell = "—"
             result.add_row(
                 row["protocol"],
                 row["workload"],
@@ -133,6 +191,7 @@ def run(
                 row["k"],
                 get_protocol(row["protocol"], row["k"]).state_count(),
                 row["mean_steps"],
+                exact_cell,
                 f"{row['correct']}/{row['trials']}",
             )
     heuristic_failures = sum(
@@ -149,5 +208,12 @@ def run(
         "Interaction counts are reported under the uniform random scheduler with the "
         "protocol-specific convergence criterion (StableCircles for Circles, output consensus "
         f"for the baselines), simulated by the {engine!r} engine."
+    )
+    result.add_note(
+        f"'exact E[interactions]' (n ≤ {exact_max_n}) is the analytical expected "
+        "first-hitting time of the same criterion in the exact configuration chain "
+        "(repro.exact), on the same workload colors; '—' marks rows whose chain or "
+        "fundamental-matrix solve exceeds the exact-analysis caps, '∞' criteria that "
+        "are not almost surely reached."
     )
     return result

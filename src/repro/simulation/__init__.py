@@ -26,6 +26,13 @@ table lookup; the batch engine's bursts are vectorized when numpy is
 available.  ``compiled=False`` (on the constructors, ``run_protocol`` /
 ``run_circles`` or ``RunSpec``) forces the original uncompiled paths.
 
+A fourth registry entry, ``engine="exact"``
+(:class:`repro.exact.engine.ExactMarkovEngine`), is not a sampler at all: it
+solves the same Markov chain analytically for small populations — exact
+distributions, absorption probabilities, expected interactions to
+convergence — and anchors the golden-reference conformance suite the three
+stochastic engines are tested against.
+
 Engines are selected by name through :func:`repro.simulation.get_engine` or,
 more commonly, through the ``engine=`` parameter of the high-level API::
 
@@ -44,7 +51,15 @@ from repro.simulation.base import ConfigurationEngine, SimulationEngine, default
 from repro.simulation.engine import AgentSimulation, StepRecord
 from repro.simulation.config_engine import ConfigurationSimulation
 from repro.simulation.batch_engine import BatchConfigurationSimulation
-from repro.simulation.registry import ENGINES, available_engines, get_engine
+from repro.simulation.registry import (
+    ENGINES,
+    available_engines,
+    get_engine,
+    stochastic_engines,
+)
+# Importing the exact package registers the analytical "exact" engine (see
+# repro.exact._register_engine for why registration lives there).
+from repro.exact.engine import ExactMarkovEngine
 from repro.simulation.convergence import (
     ConvergenceCriterion,
     OutputConsensus,
@@ -92,9 +107,11 @@ __all__ = [
     "AgentSimulation",
     "ConfigurationSimulation",
     "BatchConfigurationSimulation",
+    "ExactMarkovEngine",
     "ENGINES",
     "available_engines",
     "get_engine",
+    "stochastic_engines",
     "StepRecord",
     "ConvergenceCriterion",
     "OutputConsensus",

@@ -93,6 +93,11 @@ class SimulationEngine(abc.ABC, Generic[State]):
     #: Whether the engine tracks individual agents (only the agent engine
     #: does; observers with ``requires_indices`` need it).
     tracks_agents: ClassVar[bool] = False
+    #: Whether the engine *samples* trajectories of the interaction chain.
+    #: True for all simulation engines; the analytical ``"exact"`` engine
+    #: (:mod:`repro.exact`) overrides it, and registry-wide trajectory
+    #: suites filter on it.
+    samples_trajectories: ClassVar[bool] = True
 
     protocol: PopulationProtocol[State]
     #: Total interactions simulated so far.
@@ -187,13 +192,7 @@ class SimulationEngine(abc.ABC, Generic[State]):
             True when the criterion was satisfied (always False when no
             criterion is given).
         """
-        if max_steps < 0:
-            raise ValueError("max_steps must be non-negative")
-        if check_interval is not None and check_interval < 1:
-            raise ValueError(
-                f"check_interval must be a positive number of interactions, got "
-                f"{check_interval}; omit it (or pass None) for the default policy"
-            )
+        self._validate_run_arguments(max_steps, check_interval)
         if criterion is None:
             executed = 0
             while executed < max_steps:
@@ -216,6 +215,17 @@ class SimulationEngine(abc.ABC, Generic[State]):
             if self._check(criterion):
                 return self._finish(True)
         return self._finish(False)
+
+    @staticmethod
+    def _validate_run_arguments(max_steps: int, check_interval: int | None) -> None:
+        """The shared argument contract of every engine's ``run``."""
+        if max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        if check_interval is not None and check_interval < 1:
+            raise ValueError(
+                f"check_interval must be a positive number of interactions, got "
+                f"{check_interval}; omit it (or pass None) for the default policy"
+            )
 
     def _check(self, criterion: ConvergenceCriterion[State]) -> bool:
         """Evaluate the criterion and fire the ``on_check`` boundary hook."""

@@ -15,6 +15,18 @@ sweeps) instead of through imports:
   the same chain as ``"configuration"`` but sampled in exact bursts of
   ``Θ(√n)`` interactions; the fast path for large-population convergence
   sweeps.
+* ``"exact"`` — :class:`~repro.exact.engine.ExactMarkovEngine`: does not
+  sample at all — it enumerates the reachable configuration space and
+  *solves* the same Markov chain the other engines sample (absorption
+  probabilities, exact expected interactions to convergence, correctness
+  probability).  Ground truth for small populations; the golden-reference
+  conformance suite checks the three stochastic engines against it.
+
+The stochastic/analytical split is carried by the
+``samples_trajectories`` class flag: registry-wide trajectory suites
+(conformance matrix, distributional agreement) iterate
+:func:`stochastic_engines`, so a future sampling engine joins them by
+registration alone while ``"exact"`` stays the reference.
 
 >>> from repro.simulation import get_engine
 >>> get_engine("batch").engine_name
@@ -29,7 +41,10 @@ from repro.simulation.config_engine import ConfigurationSimulation
 from repro.simulation.engine import AgentSimulation
 from repro.utils.errors import unknown_name_error
 
-#: Registry of engine name -> engine class.
+#: Registry of engine name -> engine class.  The analytical ``"exact"``
+#: engine registers itself from :mod:`repro.exact` (imported by the
+#: ``repro`` package init) — importing it here would close an import cycle
+#: through :mod:`repro.simulation.base`.
 ENGINES: dict[str, type[SimulationEngine]] = {
     AgentSimulation.engine_name: AgentSimulation,
     ConfigurationSimulation.engine_name: ConfigurationSimulation,
@@ -40,6 +55,13 @@ ENGINES: dict[str, type[SimulationEngine]] = {
 def available_engines() -> tuple[str, ...]:
     """The names :func:`get_engine` accepts, sorted."""
     return tuple(sorted(ENGINES))
+
+
+def stochastic_engines() -> tuple[str, ...]:
+    """The engines that sample trajectories (everything but ``"exact"``), sorted."""
+    return tuple(
+        sorted(name for name, cls in ENGINES.items() if cls.samples_trajectories)
+    )
 
 
 def get_engine(name: str) -> type[SimulationEngine]:

@@ -20,6 +20,14 @@ Both entry points accept ``engine=`` with a registry name from
   uniform random scheduler.
 * ``"batch"`` — the batched configuration-level engine; the fast path for
   large populations (E6-scale convergence sweeps).
+* ``"exact"`` — the analytical engine (:mod:`repro.exact`): solves the
+  uniform-random-scheduler Markov chain instead of sampling it.  The
+  result's ``steps`` / ``interactions_changed`` are exact *expected* values,
+  ``correct`` means "correct with probability one", ``outputs`` reflect the
+  modal stable outcome, and the full :class:`~repro.exact.result.DistributionResult`
+  rides on :attr:`RunResult.exact` (JSON-native, persisted into sweep
+  records).  Small populations only — the configuration space is enumerated
+  exhaustively.
 
 The configuration-level engines *are* the uniform random scheduler, so they
 reject an explicit ``scheduler=`` argument; results report the scheduler as
@@ -128,6 +136,11 @@ class RunResult:
     #: ``{observer name: summary}`` for the observers the run was asked to
     #: attach (JSON-native; sweeps persist it into ``RunRecord.extras``).
     observer_summaries: dict = field(default_factory=dict)
+    #: For ``engine="exact"`` runs, the
+    #: :meth:`~repro.exact.result.DistributionResult.to_dict` payload of the
+    #: analytical result (absorption probabilities, exact expected
+    #: interactions, correctness probability); ``None`` for sampled runs.
+    exact: dict | None = None
     trace: Trace | None = field(default=None, repr=False)
 
     @property
@@ -241,8 +254,9 @@ def run_protocol(
             (``"agent"`` engine only).
         check_interval: how often (in interactions) the criterion is checked;
             defaults to :func:`~repro.simulation.base.default_check_interval`.
-        engine: engine registry name — ``"agent"``, ``"configuration"`` or
-            ``"batch"``.
+        engine: engine registry name — ``"agent"``, ``"configuration"``,
+            ``"batch"``, or the analytical ``"exact"`` (see the module
+            docstring for its distribution-level result semantics).
         compiled: whether the engine runs on compiled transition tables
             (:mod:`repro.compile`).  ``None`` keeps each engine's default
             (configuration-level engines compile, the agent engine does not);
@@ -274,6 +288,12 @@ def run_protocol(
     outputs = tuple(simulation.outputs())
     majority = _true_majority(colors)
     correct = majority is not None and all(output == majority for output in outputs)
+    exact_result = getattr(simulation, "distribution_result", None)
+    if exact_result is not None:
+        # The analytical engine reports distribution-level correctness:
+        # "correct" means the chain stabilizes on the majority output with
+        # probability one, not just in the modal outcome.
+        correct = bool(exact_result.always_correct)
     return RunResult(
         protocol_name=protocol.name,
         num_agents=len(colors),
@@ -290,6 +310,7 @@ def run_protocol(
         engine=engine,
         seed=seed if isinstance(seed, int) else None,
         observer_summaries={obs.name: obs.summary() for obs in resolved},
+        exact=exact_result.to_dict() if exact_result is not None else None,
         trace=trace,
     )
 
@@ -334,7 +355,11 @@ def run_circles(
     initial_states = [protocol.initial_state(color) for color in colors]
     initial_energy = configuration_energy(initial_states, k)
 
-    exchange_counter = KetExchangeObserver()
+    # The analytical engine simulates no interactions, so a ket-exchange
+    # counter would misreport 0; circles runs on it report None instead.
+    exchange_counter = (
+        KetExchangeObserver() if engine_cls.samples_trajectories else None
+    )
     resolved = _resolve_observers(observers)
     simulation, trace, scheduler_name = _build_simulation(
         engine_cls,
@@ -343,7 +368,7 @@ def run_circles(
         scheduler,
         seed,
         record_trace,
-        observers=[exchange_counter, *resolved],
+        observers=[exchange_counter, *resolved] if exchange_counter else resolved,
         compiled=compiled,
     )
     converged = simulation.run(budget, criterion=criterion, check_interval=check_interval)
@@ -352,6 +377,9 @@ def run_circles(
     outputs = tuple(simulation.outputs())
     majority = _true_majority(colors)
     correct = majority is not None and all(output == majority for output in outputs)
+    exact_result = getattr(simulation, "distribution_result", None)
+    if exact_result is not None:
+        correct = bool(exact_result.always_correct)
     return RunResult(
         protocol_name=protocol.name,
         num_agents=len(colors),
@@ -365,11 +393,12 @@ def run_circles(
         majority=majority,
         correct=correct,
         final_states=final_states,
-        ket_exchanges=exchange_counter.exchanges,
+        ket_exchanges=exchange_counter.exchanges if exchange_counter else None,
         initial_energy=initial_energy,
         final_energy=configuration_energy(final_states, k),
         engine=engine,
         seed=seed if isinstance(seed, int) else None,
         observer_summaries={obs.name: obs.summary() for obs in resolved},
+        exact=exact_result.to_dict() if exact_result is not None else None,
         trace=trace,
     )

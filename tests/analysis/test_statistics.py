@@ -1,6 +1,7 @@
 """Tests for the statistics toolkit."""
 
 import math
+import warnings
 
 import pytest
 from hypothesis import given
@@ -37,6 +38,9 @@ class TestBasics:
         assert quantile([7], 0.9) == 7
         with pytest.raises(ValueError):
             quantile(values, 1.5)
+        # Regression: the convex-combination interpolation underflowed below
+        # the sample range for subnormal values (returned 0.0 here).
+        assert quantile([5e-324, 5e-324], 0.5) == 5e-324
         with pytest.raises(ValueError):
             quantile([], 0.5)
 
@@ -54,6 +58,32 @@ class TestConfidenceInterval:
     def test_invalid_confidence(self):
         with pytest.raises(ValueError):
             confidence_interval([1, 2], confidence=1.5)
+
+    def test_zero_variance_samples_degenerate_without_warnings(self):
+        """Regression: all-identical outcomes (100% correctness rates) must
+        yield the degenerate interval and touch no warning-raising float
+        arithmetic — the helpers used to run the full z·s/√n path on them."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning fails the test
+            assert confidence_interval([5.0] * 8) == (5.0, 5.0)
+            assert confidence_interval([0.0, 0.0, 0.0]) == (0.0, 0.0)
+            assert variance([7.25] * 3) == 0.0
+            assert std_dev([7.25] * 3) == 0.0
+            stats = summarize([1.5] * 6)
+            assert stats.std == 0.0 and stats.mean == 1.5
+
+    def test_zero_variance_numpy_scalars_degenerate_without_warnings(self):
+        """The same guarantee when the sample arrives as numpy scalars,
+        whose arithmetic reports edge cases as RuntimeWarning instead of
+        raising (the spelling aggregation code actually feeds in)."""
+        numpy = pytest.importorskip("numpy")
+        sample = list(numpy.array([3.0, 3.0, 3.0, 3.0]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            low, high = confidence_interval(sample)
+            assert (low, high) == (3.0, 3.0)
+            assert isinstance(low, float)
+            assert variance(sample) == 0.0
 
 
 class TestSummary:

@@ -60,6 +60,49 @@ def two_sample_chi_squared():
     return _chi_squared
 
 
+def _chi_squared_against_exact(
+    observed: dict, probabilities: dict, trials: int
+) -> tuple[float, float]:
+    """One-sample chi-squared of an empirical histogram against exact probabilities.
+
+    Unlike :func:`_chi_squared` the reference here is a *known* distribution
+    (from the exact Markov-chain engine), so expected counts are
+    ``trials · p`` and the statistic has ``bins - 1`` degrees of freedom with
+    no estimation correction.  Bins with expected count below 5 are pooled
+    (in sorted key order) for the validity of the approximation.
+    """
+    assert set(observed) <= set(probabilities), (
+        "an outcome with exact probability 0 was observed: "
+        f"{sorted(set(observed) - set(probabilities))}"
+    )
+    keys = sorted(probabilities)
+    bins: list[tuple[int, float]] = []
+    acc_count, acc_expected = 0, 0.0
+    for key in keys:
+        acc_count += observed.get(key, 0)
+        acc_expected += trials * float(probabilities[key])
+        if acc_expected >= 5.0:
+            bins.append((acc_count, acc_expected))
+            acc_count, acc_expected = 0, 0.0
+    if acc_count or acc_expected:
+        if bins:
+            last_count, last_expected = bins.pop()
+            bins.append((last_count + acc_count, last_expected + acc_expected))
+        else:
+            bins.append((acc_count, acc_expected))
+    statistic = sum(
+        (count - expected) ** 2 / expected for count, expected in bins if expected
+    )
+    df = max(1, len(bins) - 1)
+    return statistic, _CHI2_999[min(df, max(_CHI2_999))]
+
+
+@pytest.fixture(scope="session")
+def one_sample_chi_squared():
+    """``(observed histogram, exact probabilities, trials) -> (stat, critical)``."""
+    return _chi_squared_against_exact
+
+
 def _registry_protocol(name: str):
     """Instantiate a registry protocol with a color count it accepts."""
     from repro.protocols.registry import DEFAULT_REGISTRY

@@ -1,0 +1,106 @@
+"""Unit tests for the exact configuration chain."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.circles import CirclesProtocol
+from repro.exact import ChainTooLarge, ConfigurationChain
+from repro.protocols.exact_majority import ExactMajorityProtocol
+
+
+class TestConstruction:
+    def test_rows_are_probability_distributions_exact(self):
+        chain = ConfigurationChain.from_colors(
+            CirclesProtocol(2), (0, 0, 0, 1, 1), arithmetic="exact"
+        )
+        for row in chain.rows:
+            assert sum(row.values()) == 1
+            assert all(isinstance(p, Fraction) and p > 0 for p in row.values())
+
+    def test_rows_are_probability_distributions_float(self):
+        chain = ConfigurationChain.from_colors(CirclesProtocol(2), (0, 0, 0, 1, 1))
+        for row in chain.rows:
+            assert math.isclose(sum(row.values()), 1.0, abs_tol=1e-12)
+
+    def test_initial_index_is_zero_and_keys_invert(self):
+        chain = ConfigurationChain.from_colors(CirclesProtocol(2), (0, 0, 1))
+        assert chain.initial_index == 0
+        for index, key in enumerate(chain.keys):
+            assert chain.index[key] == index
+        assert len(chain.states_of(0)) == 3
+
+    def test_exact_and_float_modes_agree(self):
+        exact = ConfigurationChain.from_colors(
+            CirclesProtocol(2), (0, 0, 1), arithmetic="exact"
+        )
+        approx = ConfigurationChain.from_colors(CirclesProtocol(2), (0, 0, 1))
+        assert exact.keys == approx.keys
+        for exact_row, float_row in zip(exact.rows, approx.rows):
+            assert set(exact_row) == set(float_row)
+            for target in exact_row:
+                assert math.isclose(float(exact_row[target]), float_row[target])
+
+    def test_uncompiled_fallback_builds_the_same_chain(self):
+        compiled = ConfigurationChain.from_colors(CirclesProtocol(2), (0, 0, 0, 1, 1))
+        fallback = ConfigurationChain.from_colors(
+            CirclesProtocol(2), (0, 0, 0, 1, 1), compiled=False
+        )
+        assert fallback.compiled is None and compiled.compiled is not None
+        assert compiled.keys == fallback.keys
+        assert compiled.rows == fallback.rows
+
+    def test_cap_raises_instead_of_truncating(self):
+        with pytest.raises(ChainTooLarge):
+            ConfigurationChain.from_colors(
+                CirclesProtocol(3), (0, 1, 1, 2, 2, 2), max_configurations=10
+            )
+
+    def test_too_small_population_rejected(self):
+        with pytest.raises(ValueError, match="two agents"):
+            ConfigurationChain.from_colors(CirclesProtocol(2), (0,))
+
+    def test_unknown_arithmetic_rejected(self):
+        with pytest.raises(ValueError, match="arithmetic"):
+            ConfigurationChain.from_colors(CirclesProtocol(2), (0, 1), arithmetic="decimal")
+
+
+class TestDistributions:
+    def test_distribution_after_zero_is_the_initial_point_mass(self):
+        chain = ConfigurationChain.from_colors(CirclesProtocol(2), (0, 0, 1))
+        assert chain.distribution_after(0) == {0: 1.0}
+
+    def test_distribution_stays_normalized_exactly(self):
+        chain = ConfigurationChain.from_colors(
+            CirclesProtocol(2), (0, 0, 0, 1, 1), arithmetic="exact"
+        )
+        for t in (1, 5, 20):
+            assert sum(chain.distribution_after(t).values()) == 1
+
+    def test_mass_concentrates_on_the_stable_outcome(self):
+        chain = ConfigurationChain.from_colors(
+            CirclesProtocol(2), (0, 0, 1), arithmetic="exact"
+        )
+        late = chain.output_distribution_after(200)
+        assert late[((0, 3),)] > Fraction(999, 1000)
+
+    def test_two_agent_chain(self):
+        chain = ConfigurationChain.from_colors(ExactMajorityProtocol(2), (0, 1))
+        distribution = chain.distribution_after(3)
+        assert math.isclose(sum(distribution.values()), 1.0, abs_tol=1e-12)
+
+    def test_negative_horizon_rejected(self):
+        chain = ConfigurationChain.from_colors(CirclesProtocol(2), (0, 1))
+        with pytest.raises(ValueError):
+            chain.distribution_after(-1)
+
+    def test_output_keys_match_configuration_outputs(self):
+        protocol = CirclesProtocol(2)
+        chain = ConfigurationChain.from_colors(protocol, (0, 0, 1))
+        for index in range(chain.num_configurations):
+            histogram: dict[int, int] = {}
+            for state in chain.states_of(index):
+                color = protocol.output(state)
+                histogram[color] = histogram.get(color, 0) + 1
+            assert chain.output_key(index) == tuple(sorted(histogram.items()))

@@ -47,6 +47,36 @@ class TestE3:
         )
         assert all(result.column("correct"))
 
+    def test_exact_correctness_column_is_one_on_model_checked_inputs(self):
+        result = e3_correctness.run(
+            small_inputs=((0, 0, 1), (0, 1, 1, 2)),
+            schedulers=(),
+            num_agents=8,
+            num_colors=3,
+            trials=2,
+            seed=3,
+        )
+        # Theorem 3.7: the analytical correctness probability is exactly 1.
+        assert result.column("exact P(correct)") == ["1.000000", "1.000000"]
+
+    def test_exact_column_degrades_on_inputs_too_large_for_the_chain(self, monkeypatch):
+        """The model checker tolerates larger inputs than the exact solve;
+        E3 must keep its verdict and render '—' instead of crashing."""
+        from repro.exact import ChainTooLarge
+
+        def too_large(*args, **kwargs):
+            raise ChainTooLarge("simulated: configuration chain over the cap")
+
+        monkeypatch.setattr(
+            e3_correctness, "exact_correctness_probability", too_large
+        )
+        result = e3_correctness.run(
+            small_inputs=((0, 0, 1),), schedulers=(), num_agents=8, num_colors=3,
+            trials=1, seed=3,
+        )
+        assert result.column("exact P(correct)") == ["—"]
+        assert result.column("correct") == [True]
+
 
 class TestE4:
     def test_structure_matches_prediction(self):
@@ -78,6 +108,27 @@ class TestE6:
         )
         rows = {row[0]: row for row in result.rows}
         assert rows["circles"][-1] == "2/2"
+
+    def test_exact_expected_interactions_column_at_small_n(self):
+        result = e6_convergence.run(
+            populations=(6,), ks=(2,), trials=2, seed=4, adversarial=False
+        )
+        exact_column = dict(zip(result.column("protocol"), result.column("exact E[interactions]")))
+        # Every k=2 protocol at n=6 is exactly analyzable: numeric cells only.
+        for protocol, cell in exact_column.items():
+            assert cell not in ("—", "∞"), protocol
+            assert float(cell) > 0
+        # The analytical value sits in the same ballpark as the empirical
+        # mean (they estimate the same quantity; trials are few, so loose).
+        means = dict(zip(result.column("protocol"), result.column("mean interactions")))
+        circles_exact = float(exact_column["circles"])
+        assert 0.2 * circles_exact <= means["circles"] <= 5 * circles_exact
+
+    def test_exact_column_degrades_above_the_size_threshold(self):
+        result = e6_convergence.run(
+            populations=(16,), ks=(2,), trials=2, seed=4, adversarial=False
+        )
+        assert set(result.column("exact E[interactions]")) == {"—"}
 
 
 class TestE7:

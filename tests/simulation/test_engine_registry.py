@@ -7,10 +7,12 @@ from repro.simulation import (
     AgentSimulation,
     BatchConfigurationSimulation,
     ConfigurationSimulation,
+    ExactMarkovEngine,
     SimulationEngine,
     available_engines,
     default_check_interval,
     get_engine,
+    stochastic_engines,
 )
 from repro.core.circles import CirclesProtocol
 from repro.simulation.convergence import OutputConsensus
@@ -18,10 +20,16 @@ from repro.simulation.convergence import OutputConsensus
 
 class TestRegistry:
     def test_known_names(self):
-        assert available_engines() == ("agent", "batch", "configuration")
+        assert available_engines() == ("agent", "batch", "configuration", "exact")
         assert get_engine("agent") is AgentSimulation
         assert get_engine("configuration") is ConfigurationSimulation
         assert get_engine("batch") is BatchConfigurationSimulation
+        assert get_engine("exact") is ExactMarkovEngine
+
+    def test_stochastic_engines_excludes_the_analytical_one(self):
+        assert stochastic_engines() == ("agent", "batch", "configuration")
+        assert not ExactMarkovEngine.samples_trajectories
+        assert all(ENGINES[name].samples_trajectories for name in stochastic_engines())
 
     def test_names_match_engine_classes(self):
         for name, engine_cls in ENGINES.items():
@@ -29,7 +37,7 @@ class TestRegistry:
             assert issubclass(engine_cls, SimulationEngine)
 
     def test_unknown_name_lists_available_engines(self):
-        with pytest.raises(KeyError, match="agent, batch, configuration"):
+        with pytest.raises(KeyError, match="agent, batch, configuration, exact"):
             get_engine("warp-drive")
 
 
