@@ -22,9 +22,37 @@ from repro.core.state import CirclesState
 
 
 def _as_braket(item: BraKet | CirclesState) -> BraKet:
-    if isinstance(item, CirclesState):
-        return item.braket
-    return item
+    if isinstance(item, BraKet):
+        return item
+    return item.braket
+
+
+def braket_count_vectors(
+    items: Sequence[BraKet | CirclesState], num_colors: int
+) -> dict[str, tuple[int, ...]]:
+    """Candidate invariant vectors for the *count-level* bra-ket invariant.
+
+    Lemma 3.3 says the population-wide multiset of bras (and of kets) never
+    changes; on an index-aligned count vector over ``items`` that is one
+    linear invariant per color and side: ``bra[i]`` is the indicator of
+    "state's bra is color ``i``" and likewise ``ket[i]``.  The static
+    verifier (:mod:`repro.verify.conservation`) checks each candidate against
+    every transition effect vector, certifying the lemma once per protocol
+    instead of asserting it per trajectory.
+
+    Accepts any state carrying a ``braket`` attribute (Circles, tie-report,
+    the unordered adaptation) as well as raw :class:`BraKet` values.
+    """
+    brakets = [_as_braket(item) for item in items]
+    vectors: dict[str, tuple[int, ...]] = {}
+    for color in range(num_colors):
+        vectors[f"bra[{color}]"] = tuple(
+            1 if braket.bra == color else 0 for braket in brakets
+        )
+        vectors[f"ket[{color}]"] = tuple(
+            1 if braket.ket == color else 0 for braket in brakets
+        )
+    return vectors
 
 
 def braket_counts(

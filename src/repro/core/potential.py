@@ -24,9 +24,9 @@ from repro.utils.ordinal import Ordinal
 
 
 def _as_braket(item: BraKet | CirclesState) -> BraKet:
-    if isinstance(item, CirclesState):
-        return item.braket
-    return item
+    if isinstance(item, BraKet):
+        return item
+    return item.braket
 
 
 def sorted_weights(brakets: Iterable[BraKet | CirclesState], num_colors: int) -> list[int]:
@@ -97,6 +97,29 @@ def state_weights(
     weight table indexed by compiled state code.
     """
     return [braket_weight(_as_braket(item), num_colors) for item in states]
+
+
+def weight_threshold_vectors(
+    weights: Sequence[int],
+) -> list[tuple[int, tuple[int, ...]]]:
+    """Per-threshold indicator vectors of "state weight ``<= w``".
+
+    For each weight value ``w`` occurring in ``weights`` this yields the
+    index-aligned indicator vector of the states whose weight is at most
+    ``w``.  The dot product with a count vector is ``N_w``, the number of
+    agents at weight ``<= w`` — and the ordinal potential ``g(C)`` of
+    Theorem 3.4 decreases exactly when the tuple ``(N_1, N_2, ...)``
+    increases lexicographically (ascending sorted weight sequences compare
+    lexicographically iff their cumulative counts do, with the order
+    reversed).  :mod:`repro.verify.ranking` therefore uses the *negated*
+    vectors as ranking-function components, turning Theorem 3.4 into a
+    one-shot static certificate instead of a per-step runtime check.
+    """
+    thresholds = sorted(set(weights))
+    return [
+        (w, tuple(1 if weight <= w else 0 for weight in weights))
+        for w in thresholds
+    ]
 
 
 def counts_energy(counts: Iterable[int], weights: Sequence[int]) -> int:

@@ -104,6 +104,79 @@ def gaussian_solve(
     return solutions
 
 
+def rational_rref(
+    matrix: list[list[Fraction]],
+) -> tuple[list[list[Fraction]], list[int]]:
+    """Reduced row-echelon form over exact rationals.
+
+    The companion of :func:`gaussian_solve` for *singular* systems: instead
+    of solving ``A·x = b`` it normalizes ``A`` itself, which is what the
+    static verifier's conservation-law discovery needs (the null space of
+    the transition effect matrix).  Plain Gauss-Jordan elimination on a
+    copy; pivoting by first nonzero entry is exact over ``Fraction``, so no
+    partial pivoting is required.
+
+    Returns:
+        ``(reduced, pivots)`` — the nonzero rows of the reduced form and the
+        pivot column of each, in order.  ``len(pivots)`` is the rank.
+    """
+    rows = [list(row) for row in matrix]
+    num_rows = len(rows)
+    num_cols = len(rows[0]) if rows else 0
+    pivots: list[int] = []
+    rank = 0
+    for col in range(num_cols):
+        pivot_row = next(
+            (i for i in range(rank, num_rows) if rows[i][col]), None
+        )
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        head = rows[rank][col]
+        rows[rank] = [value / head for value in rows[rank]]
+        lead = rows[rank]
+        for i in range(num_rows):
+            if i != rank and rows[i][col]:
+                factor = rows[i][col]
+                rows[i] = [value - factor * top for value, top in zip(rows[i], lead)]
+        pivots.append(col)
+        rank += 1
+        if rank == num_rows:
+            break
+    return rows[:rank], pivots
+
+
+def rational_nullspace(
+    rows: Sequence[Sequence[int | Fraction]], dimension: int
+) -> list[tuple[Fraction, ...]]:
+    """A basis of ``{x : row · x = 0 for every row}`` over the rationals.
+
+    Exact ``Fraction`` arithmetic throughout, so membership is *certified*
+    (``row · x`` is identically zero, not numerically small).  The basis is
+    the standard free-column construction from the reduced row-echelon form
+    and is deterministic for a given row order.  With no rows (or all-zero
+    rows) the result is the standard basis of the full space.
+    """
+    matrix = [[Fraction(value) for value in row] for row in rows]
+    for row in matrix:
+        if len(row) != dimension:
+            raise ValueError(
+                f"effect row of length {len(row)} does not match dimension {dimension}"
+            )
+    reduced, pivots = rational_rref(matrix)
+    pivot_set = set(pivots)
+    basis: list[tuple[Fraction, ...]] = []
+    for free in range(dimension):
+        if free in pivot_set:
+            continue
+        vector = [Fraction(0)] * dimension
+        vector[free] = Fraction(1)
+        for i, pivot in enumerate(pivots):
+            vector[pivot] = -reduced[i][free]
+        basis.append(tuple(vector))
+    return basis
+
+
 def solve_transient_systems(
     rows: Sequence[dict[int, Fraction | float]],
     transient: Sequence[int],

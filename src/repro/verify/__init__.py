@@ -1,0 +1,72 @@
+"""Static verification of population protocols (no simulation).
+
+The passes consume a protocol's compiled δ-table
+(:class:`repro.compile.CompiledProtocol`) and emit machine-checkable
+certificates plus lint diagnostics:
+
+* :mod:`repro.verify.effects` — the finitely many count-vector deltas of
+  the changed transitions, the ground truth every certificate refers to;
+* :mod:`repro.verify.conservation` — the complete rational null space of
+  the effect matrix (certified linear invariants), cross-checked against
+  the paper's stated invariants (population size, Lemma 3.3);
+* :mod:`repro.verify.ranking` — lexicographic ranking certificates:
+  schedule-oblivious termination proofs (Theorem 3.4 one-shot) and, when
+  the residual is empty, silence certificates;
+* :mod:`repro.verify.symmetry` — the color-permutation subgroup fixing δ
+  and the output map, as generators;
+* :mod:`repro.verify.lint` — soundness and hygiene diagnostics;
+* :mod:`repro.verify.verifier` — the orchestrator producing a
+  :class:`~repro.verify.report.ProtocolReport`;
+* :mod:`repro.verify.protolint` — the registry-wide CLI
+  (``python -m repro.verify.protolint``).
+"""
+
+from repro.verify.conservation import (
+    ConservationLaw,
+    annihilates,
+    check_conservation,
+    discover_conservation_laws,
+)
+from repro.verify.effects import TransitionEffect, effect_dot, transition_effects
+from repro.verify.lint import Diagnostic, Severity
+from repro.verify.ranking import (
+    RankingCertificate,
+    RankingComponent,
+    check_ranking,
+    default_candidates,
+    synthesize_ranking,
+)
+from repro.verify.report import ProtocolReport
+from repro.verify.symmetry import SymmetryCertificate, color_symmetries
+from repro.verify.verifier import (
+    VerifyOptions,
+    canonical_num_colors,
+    registry_cases,
+    verify_protocol,
+    verify_registry,
+)
+
+__all__ = [
+    "ConservationLaw",
+    "Diagnostic",
+    "ProtocolReport",
+    "RankingCertificate",
+    "RankingComponent",
+    "Severity",
+    "SymmetryCertificate",
+    "TransitionEffect",
+    "VerifyOptions",
+    "annihilates",
+    "canonical_num_colors",
+    "check_conservation",
+    "check_ranking",
+    "color_symmetries",
+    "default_candidates",
+    "discover_conservation_laws",
+    "effect_dot",
+    "registry_cases",
+    "synthesize_ranking",
+    "transition_effects",
+    "verify_protocol",
+    "verify_registry",
+]

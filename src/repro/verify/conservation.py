@@ -1,0 +1,123 @@
+"""Conservation-law discovery: the rational null space of the effect matrix.
+
+A linear function ``c · counts`` is invariant along *every* execution iff
+``c`` annihilates every transition effect vector — a purely algebraic
+condition on finitely many integer vectors.  The complete space of such
+invariants is the null space of the effect matrix, computed exactly over
+``Fraction`` by :func:`repro.exact.solve.rational_nullspace` and normalized
+to primitive integer vectors so certificates are canonical and lossless in
+JSON.
+
+Besides the discovered basis, the module checks *candidate* invariants by
+name — the all-ones vector (population size) and the per-color bra/ket
+indicators of Lemma 3.3 from :func:`repro.core.invariants.braket_count_vectors`
+— which ties the static pass back to the paper's stated invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+from typing import Mapping, Sequence
+
+from repro.exact.solve import rational_nullspace
+from repro.verify.effects import TransitionEffect, effect_dot
+
+
+@dataclass(frozen=True)
+class ConservationLaw:
+    """A certified linear invariant of the count dynamics.
+
+    ``coefficients`` is a primitive integer vector (content 1, first nonzero
+    entry positive) aligned with the compiled state codes; ``c · counts`` is
+    constant along every execution, under every scheduler.
+    """
+
+    name: str
+    coefficients: tuple[int, ...]
+
+    def value(self, counts: Sequence[int]) -> int:
+        """``c · counts`` for an index-aligned count vector."""
+        return sum(c * int(n) for c, n in zip(self.coefficients, counts))
+
+    def render(self, state_names: Sequence[str], max_terms: int = 6) -> str:
+        """A human-readable ``2·#[s1] - #[s2] + ...`` rendering."""
+        terms = []
+        for code, coefficient in enumerate(self.coefficients):
+            if not coefficient:
+                continue
+            magnitude = "" if abs(coefficient) == 1 else f"{abs(coefficient)}·"
+            sign = "-" if coefficient < 0 else "+"
+            terms.append((sign, f"{magnitude}#[{state_names[code]}]"))
+        if not terms:
+            return "0"
+        shown = terms[:max_terms]
+        rendered = " ".join(
+            (term if sign == "+" and i == 0 else f"{sign} {term}")
+            for i, (sign, term) in enumerate(shown)
+        )
+        if len(terms) > max_terms:
+            rendered += f" ... ({len(terms) - max_terms} more terms)"
+        return rendered
+
+
+def primitive_integer_vector(vector: Sequence[Fraction]) -> tuple[int, ...]:
+    """Scale a rational vector to a canonical primitive integer vector.
+
+    Multiplies by the least common denominator, divides by the content, and
+    fixes the sign so the first nonzero entry is positive — the unique
+    canonical representative of the ray, which keeps golden certificates
+    byte-stable.
+    """
+    fractions = [Fraction(value) for value in vector]
+    common = 1
+    for value in fractions:
+        common = common * value.denominator // gcd(common, value.denominator)
+    integers = [int(value * common) for value in fractions]
+    content = 0
+    for value in integers:
+        content = gcd(content, abs(value))
+    if content > 1:
+        integers = [value // content for value in integers]
+    first = next((value for value in integers if value), 0)
+    if first < 0:
+        integers = [-value for value in integers]
+    return tuple(integers)
+
+
+def discover_conservation_laws(
+    effects: Sequence[TransitionEffect], dimension: int
+) -> list[ConservationLaw]:
+    """The complete basis of linear conservation laws, as primitive vectors."""
+    rows = [effect.dense() for effect in effects if not effect.is_zero]
+    basis = rational_nullspace(rows, dimension)
+    return [
+        ConservationLaw(f"law-{i}", primitive_integer_vector(vector))
+        for i, vector in enumerate(basis)
+    ]
+
+
+def annihilates(
+    coefficients: Sequence[int], effects: Sequence[TransitionEffect]
+) -> bool:
+    """Whether ``coefficients`` is invariant on every transition effect."""
+    return all(effect_dot(coefficients, effect) == 0 for effect in effects)
+
+
+def check_conservation(
+    laws: Sequence[ConservationLaw], effects: Sequence[TransitionEffect]
+) -> bool:
+    """Re-verify a set of laws against the effects (the certificate check)."""
+    return all(annihilates(law.coefficients, effects) for law in laws)
+
+
+def certify_candidates(
+    candidates: Mapping[str, Sequence[int]],
+    effects: Sequence[TransitionEffect],
+) -> dict[str, bool]:
+    """Check named candidate invariants; True means certified conserved."""
+    return {
+        name: annihilates(vector, effects)
+        for name, vector in candidates.items()
+    }

@@ -1,0 +1,120 @@
+"""``protolint`` — run the static verifier over the protocol registry.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.verify.protolint            # human summary
+    PYTHONPATH=src python -m repro.verify.protolint --json     # full reports
+    PYTHONPATH=src python -m repro.verify.protolint circles    # one protocol
+
+The exit status is non-zero when any report contains a diagnostic at or
+above ``--fail-on`` (default ERROR), which is how CI enforces the registry
+stays verifiable.
+
+Golden certificate files under ``tests/golden/verify/`` are regenerated
+with::
+
+    PYTHONPATH=src python -m repro.verify.protolint --out tests/golden/verify
+
+mirroring ``repro.exact.golden``'s workflow; the drift tests re-derive every
+certificate from the current δ-tables and compare.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+#: The documented regeneration command, embedded in every golden file.
+REGENERATE = "PYTHONPATH=src python -m repro.verify.protolint --out tests/golden/verify"
+
+
+def write_golden_files(out_dir: Path, reports) -> list[Path]:
+    """Write one probe-independent certificate JSON per registry case."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for case_id, report in sorted(reports.items()):
+        payload = {"regenerate": REGENERATE, "case": case_id}
+        payload.update(report.certificate_dict())
+        path = out_dir / f"{case_id}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.protolint",
+        description="statically verify registered population protocols",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="protocol names to verify (default: the whole registry)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full reports as one JSON object",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write per-case certificate JSON files (golden regeneration)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="lowest severity that makes the exit status non-zero",
+    )
+    args = parser.parse_args(argv)
+
+    import repro  # noqa: F401  (populates the default protocol registry)
+    from repro.verify.lint import Severity
+    from repro.verify.report import summarize
+    from repro.verify.verifier import verify_registry
+
+    reports = verify_registry(args.names or None)
+
+    if args.out is not None:
+        for path in write_golden_files(args.out, reports):
+            print(f"wrote {path}")
+    elif args.json:
+        payload = {
+            case_id: report.to_dict() for case_id, report in sorted(reports.items())
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        for case_id, report in sorted(reports.items()):
+            print(f"{case_id}: {summarize(report)}")
+            for diagnostic in report.diagnostics:
+                if diagnostic.severity >= Severity.WARNING:
+                    print(f"  {diagnostic.severity}: [{diagnostic.code}] "
+                          f"{diagnostic.message}")
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    failing = sorted(
+        case_id
+        for case_id, report in reports.items()
+        if report.max_severity() is not None
+        and report.max_severity() >= threshold
+    )
+    if failing:
+        print(
+            f"protolint: {len(failing)} case(s) at or above "
+            f"{threshold.name}: {', '.join(failing)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,262 @@
+"""Termination and silence certificates via lexicographic ranking functions.
+
+A *ranking certificate* is a tuple of linear functions ``(c_0, ..., c_m)`` of
+the count vector such that every changed transition either strictly
+decreases some ``c_level`` while keeping all earlier components exactly
+constant (the transition is *killed at* ``level``), or keeps every component
+constant (the transition is *residual*).  Counts are bounded non-negative
+integers, so each killed transition class can fire only finitely often in
+**any** interaction sequence — no scheduler, fairness or probability
+assumption is involved.  With an empty residual the certificate proves
+*silence*: every execution performs finitely many changed interactions.
+
+For the circles family this is Theorem 3.4 as a one-shot proof: the negated
+cumulative weight-count vectors of
+:func:`repro.core.potential.weight_threshold_vectors` kill every ket
+exchange (ascending sorted weight sequences order lexicographically by
+cumulative counts), and the residual is exactly the output broadcasts —
+which genuinely admit infinite adversarial schedules, so the partial
+certificate is the strongest true statement.
+
+Synthesis is a greedy elimination over a deterministic candidate pool: pick
+the first candidate that weakly decreases on every live effect and strictly
+on at least one, retire the strictly-decreased effects, repeat.  Greedy
+choices never hurt here — a candidate valid now stays valid after removing
+effects — so the residual is the unique minimal one reachable with the
+given pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.verify.effects import TransitionEffect, effect_dot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.compile.compiled import CompiledProtocol
+
+
+@dataclass(frozen=True)
+class RankingComponent:
+    """One linear component of a lexicographic ranking function."""
+
+    name: str
+    coefficients: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RankingCertificate:
+    """A checked lexicographic ranking over the transition effects.
+
+    ``levels[i]`` is the component index at which effect ``i`` is killed
+    (all earlier components constant, that component strictly decreasing),
+    or ``None`` when the effect is residual (every component constant on
+    it).  ``levels`` is aligned with the effect list the certificate was
+    synthesized from, which is itself a deterministic function of the
+    compiled protocol.
+    """
+
+    components: tuple[RankingComponent, ...]
+    levels: tuple[int | None, ...]
+
+    @property
+    def num_effects(self) -> int:
+        return len(self.levels)
+
+    @property
+    def residual_indices(self) -> tuple[int, ...]:
+        """Effect indices no component strictly decreases."""
+        return tuple(i for i, level in enumerate(self.levels) if level is None)
+
+    @property
+    def is_silence_certificate(self) -> bool:
+        """True when every effect is killed: all executions reach silence.
+
+        Vacuously true for protocols with no changed transitions at all.
+        """
+        return all(level is not None for level in self.levels)
+
+
+def check_ranking(
+    effects: Sequence[TransitionEffect], certificate: RankingCertificate
+) -> bool:
+    """Re-verify a certificate against the effects it claims to rank.
+
+    For each killed effect the components before its level must be exactly
+    invariant and the level component strictly decreasing; for each residual
+    effect every component must be exactly invariant.
+    """
+    if len(effects) != len(certificate.levels):
+        return False
+    for effect, level in zip(effects, certificate.levels):
+        dots = [
+            effect_dot(component.coefficients, effect)
+            for component in certificate.components
+        ]
+        if level is None:
+            if any(dots):
+                return False
+            continue
+        if not 0 <= level < len(dots):
+            return False
+        if dots[level] >= 0 or any(dots[:level]):
+            return False
+    return True
+
+
+def synthesize_ranking(
+    effects: Sequence[TransitionEffect],
+    candidates: Sequence[RankingComponent],
+) -> RankingCertificate:
+    """Greedy lexicographic synthesis over a deterministic candidate pool."""
+    levels: list[int | None] = [None] * len(effects)
+    live = [i for i, effect in enumerate(effects) if not effect.is_zero]
+    components: list[RankingComponent] = []
+    remaining = list(candidates)
+    while live:
+        chosen: tuple[int, list[int]] | None = None
+        for candidate_index, candidate in enumerate(remaining):
+            strict: list[int] = []
+            valid = True
+            for effect_index in live:
+                value = effect_dot(candidate.coefficients, effects[effect_index])
+                if value > 0:
+                    valid = False
+                    break
+                if value < 0:
+                    strict.append(effect_index)
+            if valid and strict:
+                chosen = (candidate_index, strict)
+                break
+        if chosen is None:
+            break
+        candidate_index, strict = chosen
+        level = len(components)
+        components.append(remaining.pop(candidate_index))
+        for effect_index in strict:
+            levels[effect_index] = level
+        killed = set(strict)
+        live = [i for i in live if i not in killed]
+    return RankingCertificate(tuple(components), tuple(levels))
+
+
+def _has_brakets(states: Sequence[object]) -> bool:
+    return bool(states) and all(hasattr(state, "braket") for state in states)
+
+
+def _tuple_fields(states: Sequence[object]) -> tuple[str, ...] | None:
+    """The shared NamedTuple fields of the state space, if any."""
+    if not states:
+        return None
+    first_type = type(states[0])
+    if not (
+        isinstance(states[0], tuple) and hasattr(first_type, "_fields")
+    ):
+        return None
+    if any(type(state) is not first_type for state in states):
+        return None
+    return first_type._fields
+
+
+def default_candidates(compiled: "CompiledProtocol") -> list[RankingComponent]:
+    """The deterministic candidate pool for a compiled protocol.
+
+    In priority order: negated cumulative weight-count vectors (the
+    Theorem 3.4 components, for bra-ket-carrying state spaces), the total
+    energy in both signs, per-output-color counts in both signs,
+    per-field-value counts of NamedTuple states in both signs (these cover
+    leader bits, strong/weak flags and blank opinions), and finally
+    per-state counts in both signs.  Constant vectors and duplicates are
+    dropped; the order makes synthesized certificates reproducible.
+    """
+    from repro.core.potential import state_weights, weight_threshold_vectors
+
+    states = compiled.states
+    d = compiled.num_states
+    pool: list[RankingComponent] = []
+
+    if _has_brakets(states):
+        weights = state_weights(states, compiled.protocol.num_colors)
+        for threshold, vector in weight_threshold_vectors(weights):
+            pool.append(
+                RankingComponent(
+                    f"-#(weight<={threshold})",
+                    tuple(-value for value in vector),
+                )
+            )
+        pool.append(RankingComponent("total-weight", tuple(weights)))
+        pool.append(
+            RankingComponent("-total-weight", tuple(-w for w in weights))
+        )
+
+    outputs = compiled.outputs
+    for color in sorted(set(outputs)):
+        vector = tuple(1 if outputs[code] == color else 0 for code in range(d))
+        pool.append(RankingComponent(f"#(output={color})", vector))
+        pool.append(
+            RankingComponent(
+                f"-#(output={color})", tuple(-value for value in vector)
+            )
+        )
+
+    fields = _tuple_fields(states)
+    if fields is not None:
+        for position, field in enumerate(fields):
+            values = sorted({state[position] for state in states}, key=repr)
+            if len(values) < 2:
+                continue
+            for value in values:
+                vector = tuple(
+                    1 if state[position] == value else 0 for state in states
+                )
+                pool.append(RankingComponent(f"#({field}={value})", vector))
+                pool.append(
+                    RankingComponent(
+                        f"-#({field}={value})",
+                        tuple(-entry for entry in vector),
+                    )
+                )
+
+    for code, state in enumerate(states):
+        vector = tuple(1 if i == code else 0 for i in range(d))
+        pool.append(RankingComponent(f"#[{state}]", vector))
+        pool.append(
+            RankingComponent(f"-#[{state}]", tuple(-v for v in vector))
+        )
+
+    unique: list[RankingComponent] = []
+    seen: set[tuple[int, ...]] = set()
+    for component in pool:
+        if len(set(component.coefficients)) < 2:
+            continue  # constant on every population-preserving effect
+        if component.coefficients in seen:
+            continue
+        seen.add(component.coefficients)
+        unique.append(component)
+    return unique
+
+
+def residual_preserves_brakets(
+    compiled: "CompiledProtocol",
+    effects: Sequence[TransitionEffect],
+    certificate: RankingCertificate,
+) -> bool | None:
+    """Whether every residual transition leaves both agents' bra-kets intact.
+
+    For the circles family this is the second half of Theorem 3.4's
+    statement: only finitely many *exchanges* happen, and what can repeat
+    forever (output broadcasts) never touches the circle structure.  Returns
+    ``None`` for state spaces without bra-kets.
+    """
+    states = compiled.states
+    if not _has_brakets(states):
+        return None
+    for index in certificate.residual_indices:
+        for p, q in effects[index].pairs:
+            a, b, _ = compiled.transition_codes(p, q)
+            before = sorted((states[p].braket, states[q].braket))
+            after = sorted((states[a].braket, states[b].braket))
+            if before != after:
+                return False
+    return True

@@ -1,0 +1,183 @@
+"""The :class:`ProtocolReport` container and its lossless JSON round trip.
+
+A report bundles everything one verifier run established about a protocol:
+the certified conservation laws, the (possibly partial) ranking certificate,
+the color-symmetry subgroup, the per-probe stable-class summaries, and the
+severity-levelled diagnostics.  ``to_dict``/``from_dict`` are exact inverses
+over JSON-safe values (ints, strings, bools, lists, dicts — no floats), so
+reports survive ``json.dumps``/``loads`` untouched; the golden drift tests
+rely on that.
+
+``certificate_dict`` is the *probe-independent* slice (state space, laws,
+ranking, symmetry): a pure function of the compiled δ-table, stable under
+additions to the workload registry, which is what gets committed under
+``tests/golden/verify/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.verify.conservation import ConservationLaw
+from repro.verify.lint import Diagnostic, Severity, max_severity
+from repro.verify.ranking import RankingCertificate, RankingComponent
+from repro.verify.symmetry import SymmetryCertificate
+
+
+@dataclass
+class ProtocolReport:
+    """Everything the static verifier established about one protocol."""
+
+    name: str
+    num_colors: int
+    compiled: bool
+    state_names: tuple[str, ...] = ()
+    num_changed_pairs: int = 0
+    num_effects: int = 0
+    conservation: tuple[ConservationLaw, ...] = ()
+    certified_invariants: dict = field(default_factory=dict)
+    ranking: RankingCertificate | None = None
+    silence_certified: bool = False
+    residual_transitions: int = 0
+    residual_preserves_brakets: bool | None = None
+    symmetry: SymmetryCertificate | None = None
+    probes: list = field(default_factory=list)
+    always_correct: bool | None = None
+    diagnostics: list = field(default_factory=list)
+
+    # -- severity ------------------------------------------------------------
+
+    def max_severity(self) -> Severity | None:
+        return max_severity(self.diagnostics)
+
+    def has_errors(self) -> bool:
+        worst = self.max_severity()
+        return worst is not None and worst >= Severity.ERROR
+
+    # -- JSON ----------------------------------------------------------------
+
+    def certificate_dict(self) -> dict:
+        """The probe-independent certificate payload (golden-file content)."""
+        return {
+            "protocol": self.name,
+            "num_colors": self.num_colors,
+            "compiled": self.compiled,
+            "states": list(self.state_names),
+            "num_changed_pairs": self.num_changed_pairs,
+            "num_effects": self.num_effects,
+            "conservation": [
+                {"name": law.name, "coefficients": list(law.coefficients)}
+                for law in self.conservation
+            ],
+            "certified_invariants": dict(self.certified_invariants),
+            "ranking": (
+                None
+                if self.ranking is None
+                else {
+                    "components": [
+                        {
+                            "name": component.name,
+                            "coefficients": list(component.coefficients),
+                        }
+                        for component in self.ranking.components
+                    ],
+                    "levels": list(self.ranking.levels),
+                }
+            ),
+            "silence_certified": self.silence_certified,
+            "residual_transitions": self.residual_transitions,
+            "residual_preserves_brakets": self.residual_preserves_brakets,
+            "symmetry": (
+                None
+                if self.symmetry is None
+                else {
+                    "num_colors": self.symmetry.num_colors,
+                    "searched": self.symmetry.searched,
+                    "order": self.symmetry.order,
+                    "permutations": [list(p) for p in self.symmetry.permutations],
+                    "generators": [list(p) for p in self.symmetry.generators],
+                }
+            ),
+        }
+
+    def to_dict(self) -> dict:
+        """The full lossless payload, including probes and diagnostics."""
+        payload = self.certificate_dict()
+        payload["probes"] = [dict(probe) for probe in self.probes]
+        payload["always_correct"] = self.always_correct
+        payload["diagnostics"] = [
+            diagnostic.to_dict() for diagnostic in self.diagnostics
+        ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProtocolReport":
+        ranking = payload.get("ranking")
+        symmetry = payload.get("symmetry")
+        return cls(
+            name=payload["protocol"],
+            num_colors=payload["num_colors"],
+            compiled=payload["compiled"],
+            state_names=tuple(payload.get("states", ())),
+            num_changed_pairs=payload.get("num_changed_pairs", 0),
+            num_effects=payload.get("num_effects", 0),
+            conservation=tuple(
+                ConservationLaw(law["name"], tuple(law["coefficients"]))
+                for law in payload.get("conservation", ())
+            ),
+            certified_invariants=dict(payload.get("certified_invariants", {})),
+            ranking=(
+                None
+                if ranking is None
+                else RankingCertificate(
+                    tuple(
+                        RankingComponent(
+                            component["name"], tuple(component["coefficients"])
+                        )
+                        for component in ranking["components"]
+                    ),
+                    tuple(ranking["levels"]),
+                )
+            ),
+            silence_certified=payload.get("silence_certified", False),
+            residual_transitions=payload.get("residual_transitions", 0),
+            residual_preserves_brakets=payload.get("residual_preserves_brakets"),
+            symmetry=(
+                None
+                if symmetry is None
+                else SymmetryCertificate(
+                    symmetry["num_colors"],
+                    symmetry["searched"],
+                    tuple(tuple(p) for p in symmetry["permutations"]),
+                    tuple(tuple(p) for p in symmetry["generators"]),
+                )
+            ),
+            probes=[dict(probe) for probe in payload.get("probes", [])],
+            always_correct=payload.get("always_correct"),
+            diagnostics=[
+                Diagnostic.from_dict(diagnostic)
+                for diagnostic in payload.get("diagnostics", [])
+            ],
+        )
+
+
+def summarize(report: ProtocolReport) -> str:
+    """A one-line human summary for the CLI table."""
+    worst = report.max_severity()
+    if not report.compiled:
+        detail = "not compiled (state cap)"
+    else:
+        silence = "silent" if report.silence_certified else (
+            f"residual={report.residual_transitions}"
+        )
+        symmetry = report.symmetry.order if report.symmetry else "-"
+        detail = (
+            f"states={len(report.state_names)} laws={len(report.conservation)} "
+            f"ranking={len(report.ranking.components) if report.ranking else 0}"
+            f"({silence}) sym-order={symmetry} "
+            f"always-correct={report.always_correct}"
+        )
+    return (
+        f"{report.name} (k={report.num_colors}): {detail} "
+        f"[{worst.name if worst is not None else 'clean'}]"
+    )

@@ -84,3 +84,41 @@ class TestOutputs:
     def test_diagonal_colors(self):
         states = [CirclesState(0, 0, 0), CirclesState(1, 2, 0), CirclesState(2, 2, 0)]
         assert diagonal_colors(states) == {0, 2}
+
+
+class TestBraketCountVectors:
+    def test_indicator_vectors_partition_bras_and_kets(self):
+        from repro.core.invariants import braket_count_vectors
+
+        items = [BraKet(0, 1), BraKet(1, 0), CirclesState(0, 0, 0)]
+        vectors = braket_count_vectors(items, 2)
+        assert set(vectors) == {"bra[0]", "bra[1]", "ket[0]", "ket[1]"}
+        assert vectors["bra[0]"] == (1, 0, 1)
+        assert vectors["bra[1]"] == (0, 1, 0)
+        assert vectors["ket[0]"] == (0, 1, 1)
+        assert vectors["ket[1]"] == (1, 0, 0)
+        # Each side's indicators sum to the all-ones (population) vector.
+        for side in ("bra", "ket"):
+            total = [
+                sum(vectors[f"{side}[{color}]"][i] for color in range(2))
+                for i in range(len(items))
+            ]
+            assert total == [1, 1, 1]
+
+    def test_dot_with_counts_matches_braket_counts(self):
+        from repro.core.invariants import braket_count_vectors
+
+        items = [BraKet(0, 1), BraKet(1, 0), BraKet(0, 0)]
+        counts = [3, 1, 2]
+        expanded = [item for item, count in zip(items, counts) for _ in range(count)]
+        bras, kets = braket_counts(expanded)
+        vectors = braket_count_vectors(items, 2)
+        for color in range(2):
+            assert (
+                sum(c * v for c, v in zip(counts, vectors[f"bra[{color}]"]))
+                == bras.get(color, 0)
+            )
+            assert (
+                sum(c * v for c, v in zip(counts, vectors[f"ket[{color}]"]))
+                == kets.get(color, 0)
+            )

@@ -158,3 +158,34 @@ class TestCountLevelHelpers:
 
         with pytest.raises(ValueError, match="different population sizes"):
             compare_weight_histograms({1: 2}, {1: 3})
+
+
+class TestWeightThresholdVectors:
+    def test_indicators_cover_each_occurring_threshold_once(self):
+        from repro.core.potential import weight_threshold_vectors
+
+        vectors = weight_threshold_vectors([2, 1, 2, 4])
+        assert [w for w, _ in vectors] == [1, 2, 4]
+        assert dict(vectors) == {
+            1: (0, 1, 0, 0),
+            2: (1, 1, 1, 0),
+            4: (1, 1, 1, 1),
+        }
+
+    def test_dot_with_counts_is_the_cumulative_weight_histogram(self):
+        from repro.core.braket import braket_weight
+        from repro.core.potential import (
+            weight_histogram_from_counts,
+            weight_threshold_vectors,
+        )
+
+        protocol = CirclesProtocol(3)
+        states = sorted(protocol.states())
+        weights = [braket_weight(state.braket, 3) for state in states]
+        counts = [(7 * i) % 5 for i in range(len(states))]
+        histogram = weight_histogram_from_counts(counts, weights)
+        for w, vector in weight_threshold_vectors(weights):
+            cumulative = sum(
+                count for value, count in histogram.items() if value <= w
+            )
+            assert sum(c * v for c, v in zip(counts, vector)) == cumulative

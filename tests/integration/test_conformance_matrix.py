@@ -14,13 +14,19 @@ registration alone.  Per cell the matrix checks:
 * **small-n distributional agreement** — under the uniform random scheduler
   every engine samples the same Markov chain, checked by a two-sample
   chi-squared test on output-count histograms against the exact sequential
-  configuration engine.
+  configuration engine;
+* **static verification** — the ``repro.verify`` analyzer runs over the
+  compiled δ-table (no simulation): no ERROR diagnostics, certificates
+  re-verify, and the static stable-class analysis agrees with a fresh
+  :func:`repro.exact.absorption.analyze_absorption` run.
 """
 
 import pytest
 
 import repro  # noqa: F401  (populates the default protocol registry)
 from repro.compile import compile_protocol
+from repro.exact.absorption import analyze_absorption, closed_classes
+from repro.exact.chain import ChainTooLarge, ConfigurationChain
 from repro.protocols.registry import DEFAULT_REGISTRY
 from repro.scheduling.random_uniform import UniformRandomScheduler
 from repro.simulation import (
@@ -31,6 +37,9 @@ from repro.simulation import (
 )
 from repro.simulation.convergence import SilentConfiguration
 from repro.utils.multiset import Multiset
+from repro.verify import check_conservation, check_ranking, transition_effects
+from repro.verify.lint import Severity
+from repro.verify.verifier import verify_protocol
 
 PROTOCOL_NAMES = DEFAULT_REGISTRY.names()
 # The matrix covers the engines that sample trajectories; the analytical
@@ -149,3 +158,68 @@ def test_engines_agree_distributionally_at_small_n(
             f"{protocol_name}: engine {engine_name!r} disagrees with the exact "
             f"configuration engine (chi-squared {statistic:.1f} > {critical:.1f})"
         )
+
+
+# -- static verification column ---------------------------------------------
+
+
+@pytest.mark.parametrize("protocol_name", PROTOCOL_NAMES)
+def test_static_verifier_is_clean_and_certificates_reverify(
+    protocol_name, make_registry_protocol
+):
+    """Every registry protocol passes protolint, and the report's
+    certificates re-verify against a freshly derived effect basis."""
+    protocol = make_registry_protocol(protocol_name)
+    report = verify_protocol(protocol, name=protocol_name)
+    assert report.compiled
+    assert not report.has_errors(), [
+        diagnostic.to_dict()
+        for diagnostic in report.diagnostics
+        if diagnostic.severity >= Severity.ERROR
+    ]
+    # Re-derive the effect vectors from a fresh compile and re-check both
+    # certificate families — the report must not merely assert them.
+    effects = transition_effects(compile_protocol(protocol))
+    assert check_conservation(report.conservation, effects)
+    assert check_ranking(effects, report.ranking)
+    assert report.silence_certified == report.ranking.is_silence_certificate
+
+
+@pytest.mark.parametrize("protocol_name", PROTOCOL_NAMES)
+def test_static_stable_classes_agree_with_exact_absorption(
+    protocol_name, make_registry_protocol
+):
+    """The report's probe summaries must match a fresh exact-arithmetic
+    :mod:`repro.exact.absorption` recomputation on every probe small enough
+    to rebuild (closed classes depend only on edge support, so float and
+    Fraction chains must agree exactly)."""
+    protocol = make_registry_protocol(protocol_name)
+    report = verify_protocol(protocol, name=protocol_name)
+    checked = 0
+    for summary in report.probes:
+        if "skipped" in summary:
+            continue
+        try:
+            chain = ConfigurationChain.from_colors(
+                protocol,
+                summary["colors"],
+                arithmetic="exact",
+                max_configurations=4_000,
+            )
+        except ChainTooLarge:
+            continue  # the cross-check targets probes under the state cap
+        classes = closed_classes(chain.rows)
+        assert summary["num_configurations"] == chain.num_configurations
+        assert summary["num_classes"] == len(classes)
+        assert summary["class_sizes"] == [len(members) for members in classes]
+        for members, consistent in zip(classes, summary["output_consistent"]):
+            keys = {chain.output_key(member) for member in members}
+            assert (len(keys) == 1) == consistent
+        if len(chain.rows) <= 200:
+            # Small enough for the fundamental-matrix solve: the absorption
+            # analysis must see the same classes and total probability one.
+            analysis = analyze_absorption(chain)
+            assert analysis.classes == classes
+            assert sum(analysis.class_probabilities) == 1
+        checked += 1
+    assert checked, f"{protocol_name}: no probe small enough to cross-check"

@@ -20,7 +20,7 @@ from repro.simulation import (
     register_observer,
     run_circles,
 )
-from repro.simulation.observers import OBSERVERS, CountDelta
+from repro.simulation.observers import OBSERVERS
 
 ENGINE_CLASSES = (AgentSimulation, ConfigurationSimulation, BatchConfigurationSimulation)
 

@@ -1,0 +1,90 @@
+"""Conservation-law discovery and the paper's candidate invariants."""
+
+import pytest
+
+import repro  # noqa: F401  (populates the default protocol registry)
+from repro.compile import compile_protocol
+from repro.core.circles import CirclesProtocol
+from repro.core.invariants import braket_count_vectors
+from repro.protocols.approximate_majority import ApproximateMajorityProtocol
+from repro.protocols.registry import DEFAULT_REGISTRY
+from repro.verify.conservation import (
+    annihilates,
+    check_conservation,
+    discover_conservation_laws,
+    primitive_integer_vector,
+)
+from repro.verify.effects import transition_effects
+from repro.verify.verifier import canonical_num_colors
+
+PROTOCOL_NAMES = DEFAULT_REGISTRY.names()
+
+
+@pytest.mark.parametrize("protocol_name", PROTOCOL_NAMES)
+def test_discovered_laws_annihilate_every_effect(protocol_name):
+    protocol = DEFAULT_REGISTRY.create(
+        protocol_name, canonical_num_colors(protocol_name)
+    )
+    compiled = compile_protocol(protocol)
+    effects = transition_effects(compiled)
+    laws = discover_conservation_laws(effects, compiled.num_states)
+    assert check_conservation(laws, effects)
+    # Population size is always in the discovered span's cone of candidates.
+    assert annihilates((1,) * compiled.num_states, effects)
+
+
+@pytest.mark.parametrize("num_colors", [2, 3])
+def test_circles_certifies_lemma_3_3(num_colors):
+    """Every per-color bra and ket count is a certified linear invariant."""
+    compiled = compile_protocol(CirclesProtocol(num_colors))
+    effects = transition_effects(compiled)
+    candidates = braket_count_vectors(compiled.states, num_colors)
+    assert len(candidates) == 2 * num_colors
+    for name, vector in candidates.items():
+        assert annihilates(vector, effects), f"candidate {name} not conserved"
+    # The discovered basis spans at least the 2k bra/ket counts, which have
+    # rank 2k-1 together with population size; the null space is no smaller.
+    laws = discover_conservation_laws(effects, compiled.num_states)
+    assert len(laws) >= 2 * num_colors - 1
+
+
+def test_approximate_majority_conserves_only_population_size():
+    compiled = compile_protocol(ApproximateMajorityProtocol(2))
+    effects = transition_effects(compiled)
+    laws = discover_conservation_laws(effects, compiled.num_states)
+    assert len(laws) == 1
+    assert annihilates((1,) * compiled.num_states, effects)
+    # Opinion counts are *not* conserved (that is the whole point of the
+    # protocol), so the indicator of an opinion state must fail.
+    blank_index = [
+        code
+        for code, state in enumerate(compiled.states)
+        if state.opinion is None
+    ]
+    assert len(blank_index) == 1
+    indicator = tuple(
+        1 if code == blank_index[0] else 0 for code in range(compiled.num_states)
+    )
+    assert not annihilates(indicator, effects)
+
+
+def test_primitive_integer_vector_normalizes():
+    from fractions import Fraction
+
+    assert primitive_integer_vector(
+        (Fraction(1, 2), Fraction(-1, 3), Fraction(0))
+    ) == (3, -2, 0)
+    assert primitive_integer_vector(
+        (Fraction(-2), Fraction(4), Fraction(-6))
+    ) == (1, -2, 3)
+    assert primitive_integer_vector((Fraction(0), Fraction(0))) == (0, 0)
+
+
+def test_law_rendering_is_compact():
+    compiled = compile_protocol(CirclesProtocol(2))
+    effects = transition_effects(compiled)
+    laws = discover_conservation_laws(effects, compiled.num_states)
+    names = [str(state) for state in compiled.states]
+    for law in laws:
+        rendered = law.render(names)
+        assert rendered and "#[" in rendered

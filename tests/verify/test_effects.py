@@ -1,0 +1,73 @@
+"""Effect extraction: the ground truth every certificate refers to."""
+
+import pytest
+
+import repro  # noqa: F401  (populates the default protocol registry)
+from repro.compile import compile_protocol
+from repro.core.circles import CirclesProtocol
+from repro.protocols.registry import DEFAULT_REGISTRY
+from repro.verify.effects import effect_dot, transition_effects
+from repro.verify.verifier import canonical_num_colors
+
+PROTOCOL_NAMES = DEFAULT_REGISTRY.names()
+
+
+def compiled_registry_protocol(name):
+    return compile_protocol(DEFAULT_REGISTRY.create(name, canonical_num_colors(name)))
+
+
+def test_effects_partition_the_changed_pairs():
+    compiled = compile_protocol(CirclesProtocol(3))
+    effects = transition_effects(compiled)
+    seen = set()
+    for effect in effects:
+        assert effect.pairs
+        for pair in effect.pairs:
+            assert pair not in seen
+            seen.add(pair)
+    d = compiled.num_states
+    expected = {
+        (p, q)
+        for p in range(d)
+        for q in range(d)
+        if compiled.transition_codes(p, q)[2]
+    }
+    assert seen == expected
+
+
+@pytest.mark.parametrize("protocol_name", PROTOCOL_NAMES)
+def test_every_effect_conserves_population_size(protocol_name):
+    compiled = compiled_registry_protocol(protocol_name)
+    ones = (1,) * compiled.num_states
+    for effect in transition_effects(compiled):
+        assert effect_dot(ones, effect) == 0
+        assert sum(change for _, change in effect.sparse) == 0
+
+
+def test_sparse_matches_dense_and_the_table():
+    compiled = compile_protocol(CirclesProtocol(2))
+    d = compiled.num_states
+    for effect in transition_effects(compiled):
+        dense = effect.dense()
+        assert len(dense) == d
+        assert dict(effect.sparse) == {
+            code: value for code, value in enumerate(dense) if value
+        }
+        p, q = effect.pairs[0]
+        a, b, changed = compiled.transition_codes(p, q)
+        assert changed
+        recomputed = [0] * d
+        for code, change in ((p, -1), (q, -1), (a, 1), (b, 1)):
+            recomputed[code] += change
+        assert recomputed == dense
+
+
+def test_zero_effects_only_for_multiset_preserving_pairs():
+    for name in PROTOCOL_NAMES:
+        compiled = compiled_registry_protocol(name)
+        for effect in transition_effects(compiled):
+            if not effect.is_zero:
+                continue
+            for p, q in effect.pairs:
+                a, b, _ = compiled.transition_codes(p, q)
+                assert sorted((a, b)) == sorted((p, q))

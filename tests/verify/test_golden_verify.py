@@ -1,0 +1,62 @@
+"""Drift tests for the committed static certificates.
+
+Every file under ``tests/golden/verify/`` pins the probe-independent
+certificate payload (state space, conservation laws, ranking certificate,
+symmetry group) of one registry case.  The tests re-derive each certificate
+from the current δ-tables and compare; a mismatch means a protocol's
+transition function (or the verifier) changed behaviour.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m repro.verify.protolint --out tests/golden/verify
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro  # noqa: F401  (populates the default protocol registry)
+from repro.protocols.registry import DEFAULT_REGISTRY
+from repro.verify.protolint import REGENERATE
+from repro.verify.verifier import registry_cases, verify_protocol
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden" / "verify"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.json"))
+CASES = registry_cases()
+
+
+def test_every_registry_case_has_a_golden_certificate():
+    missing = [
+        case_id
+        for case_id, _, _ in CASES
+        if not (GOLDEN_DIR / f"{case_id}.json").exists()
+    ]
+    assert not missing, (
+        f"no golden certificate for {missing}; regenerate with: {REGENERATE}"
+    )
+
+
+def test_no_stale_golden_certificates():
+    known = {case_id for case_id, _, _ in CASES}
+    stale = [path.name for path in GOLDEN_FILES if path.stem not in known]
+    assert not stale, (
+        f"golden certificates {stale} have no registry case; "
+        f"regenerate with: {REGENERATE}"
+    )
+
+
+@pytest.mark.parametrize(
+    "case_id,protocol_name,num_colors", CASES, ids=[c[0] for c in CASES]
+)
+def test_certificates_have_not_drifted(case_id, protocol_name, num_colors):
+    path = GOLDEN_DIR / f"{case_id}.json"
+    golden = json.loads(path.read_text())
+    assert golden.pop("case") == case_id
+    assert golden.pop("regenerate") == REGENERATE
+    protocol = DEFAULT_REGISTRY.create(protocol_name, num_colors)
+    report = verify_protocol(protocol, name=protocol_name)
+    assert report.certificate_dict() == golden, (
+        f"certificate drift for {case_id}; if intentional, regenerate with: "
+        f"{REGENERATE}"
+    )

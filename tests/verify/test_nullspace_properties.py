@@ -1,0 +1,76 @@
+"""Property/fuzz suite for the rational null-space solver."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact.solve import rational_nullspace, rational_rref
+
+matrices = st.integers(min_value=1, max_value=5).flatmap(
+    lambda dimension: st.lists(
+        st.lists(
+            st.integers(min_value=-4, max_value=4),
+            min_size=dimension,
+            max_size=dimension,
+        ),
+        min_size=0,
+        max_size=6,
+    ).map(lambda rows: (rows, dimension))
+)
+
+
+@given(matrices)
+@settings(max_examples=150, deadline=None)
+def test_basis_vectors_annihilate_every_row_exactly(case):
+    rows, dimension = case
+    basis = rational_nullspace(rows, dimension)
+    for vector in basis:
+        for row in rows:
+            assert sum(Fraction(r) * v for r, v in zip(row, vector)) == 0
+
+
+@given(matrices)
+@settings(max_examples=150, deadline=None)
+def test_rank_nullity(case):
+    rows, dimension = case
+    _, pivots = rational_rref([[Fraction(v) for v in row] for row in rows])
+    basis = rational_nullspace(rows, dimension)
+    assert len(pivots) + len(basis) == dimension
+
+
+@given(matrices)
+@settings(max_examples=100, deadline=None)
+def test_rational_and_float_paths_agree(case):
+    """Float dot products of the exact basis are numerically zero."""
+    rows, dimension = case
+    basis = rational_nullspace(rows, dimension)
+    for vector in basis:
+        floats = [float(value) for value in vector]
+        for row in rows:
+            assert abs(sum(r * v for r, v in zip(row, floats))) < 1e-9
+
+
+@given(matrices)
+@settings(max_examples=100, deadline=None)
+def test_basis_is_linearly_independent(case):
+    rows, dimension = case
+    basis = rational_nullspace(rows, dimension)
+    if not basis:
+        return
+    _, pivots = rational_rref([list(vector) for vector in basis])
+    assert len(pivots) == len(basis)
+
+
+def test_no_rows_yields_the_standard_basis():
+    basis = rational_nullspace([], 3)
+    assert basis == [
+        (Fraction(1), Fraction(0), Fraction(0)),
+        (Fraction(0), Fraction(1), Fraction(0)),
+        (Fraction(0), Fraction(0), Fraction(1)),
+    ]
+
+
+def test_full_rank_rows_yield_empty_nullspace():
+    basis = rational_nullspace([[1, 0], [1, 1]], 2)
+    assert basis == []

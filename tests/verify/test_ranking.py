@@ -1,0 +1,117 @@
+"""Ranking certificates: Theorem 3.4 as a one-shot static proof."""
+
+import pytest
+
+import repro  # noqa: F401  (populates the default protocol registry)
+from repro.compile import compile_protocol
+from repro.core.circles import CirclesProtocol
+from repro.core.potential import compare_weight_histograms, state_weights
+from repro.protocols.approximate_majority import ApproximateMajorityProtocol
+from repro.protocols.leader_election import LeaderElectionProtocol
+from repro.protocols.registry import DEFAULT_REGISTRY
+from repro.verify.effects import transition_effects
+from repro.verify.ranking import (
+    check_ranking,
+    default_candidates,
+    residual_preserves_brakets,
+    synthesize_ranking,
+)
+from repro.verify.verifier import canonical_num_colors
+
+PROTOCOL_NAMES = DEFAULT_REGISTRY.names()
+
+
+def certificate_for(protocol):
+    compiled = compile_protocol(protocol)
+    effects = transition_effects(compiled)
+    certificate = synthesize_ranking(effects, default_candidates(compiled))
+    return compiled, effects, certificate
+
+
+@pytest.mark.parametrize("protocol_name", PROTOCOL_NAMES)
+def test_synthesized_certificates_reverify(protocol_name):
+    protocol = DEFAULT_REGISTRY.create(
+        protocol_name, canonical_num_colors(protocol_name)
+    )
+    _, effects, certificate = certificate_for(protocol)
+    assert check_ranking(effects, certificate)
+
+
+@pytest.mark.parametrize("num_colors", [2, 3])
+def test_circles_gets_a_theorem_3_4_certificate(num_colors):
+    """Every ket exchange is killed; the residual is exchange-free."""
+    compiled, effects, certificate = certificate_for(CirclesProtocol(num_colors))
+    assert certificate.components, "no ranking component was synthesized"
+    # The first component is the paper's own potential argument: the count
+    # of minimum-weight agents can only grow.
+    assert certificate.components[0].name == "-#(weight<=1)"
+    # Not a *silence* certificate: output broadcasts legitimately admit
+    # unbounded adversarial schedules...
+    assert not certificate.is_silence_certificate
+    # ...but everything residual preserves both agents' bra-kets, which is
+    # exactly "finitely many exchanges" (Theorem 3.4).
+    assert residual_preserves_brakets(compiled, effects, certificate) is True
+    weights = state_weights(compiled.states, num_colors)
+    for effect, level in zip(effects, certificate.levels):
+        for p, q in effect.pairs:
+            a, b, _ = compiled.transition_codes(p, q)
+            before = {weights[p]: 1}
+            before[weights[q]] = before.get(weights[q], 0) + 1
+            after = {weights[a]: 1}
+            after[weights[b]] = after.get(weights[b], 0) + 1
+            comparison = compare_weight_histograms(after, before)
+            if level is not None:
+                # Killed transitions strictly decrease the ordinal potential.
+                assert comparison == -1
+            else:
+                # Residual transitions leave it untouched.
+                assert comparison == 0
+
+
+def test_leader_election_gets_a_full_silence_certificate():
+    _, effects, certificate = certificate_for(LeaderElectionProtocol(1))
+    assert effects, "leader election has changed transitions"
+    assert certificate.is_silence_certificate
+    assert check_ranking(effects, certificate)
+
+
+def test_approximate_majority_has_no_certificate():
+    """The heuristic protocol admits count-restoring adversarial loops, so
+    no linear component can make progress — the pool synthesizes nothing."""
+    _, effects, certificate = certificate_for(ApproximateMajorityProtocol(2))
+    assert effects
+    assert certificate.components == ()
+    assert not certificate.is_silence_certificate
+    assert set(certificate.residual_indices) == set(range(len(effects)))
+
+
+def test_exact_majority_kills_cancellations_but_not_weak_flips():
+    protocol = DEFAULT_REGISTRY.create("exact-majority", 2)
+    compiled, effects, certificate = certificate_for(protocol)
+    assert certificate.components
+    assert not certificate.is_silence_certificate
+    # The killed effects are exactly the strong-strong cancellations: the
+    # number of strong agents drops by two.
+    strong = tuple(
+        1 if state.strong else 0 for state in compiled.states
+    )
+    for effect, level in zip(effects, certificate.levels):
+        strong_delta = sum(
+            strong[code] * change for code, change in effect.sparse
+        )
+        if level is not None:
+            assert strong_delta < 0
+        else:
+            assert strong_delta == 0
+
+
+def test_levels_align_with_effects():
+    compiled, effects, certificate = certificate_for(CirclesProtocol(3))
+    assert len(certificate.levels) == len(effects)
+    assert certificate.num_effects == len(effects)
+    killed = [
+        i for i, level in enumerate(certificate.levels) if level is not None
+    ]
+    assert set(killed) | set(certificate.residual_indices) == set(
+        range(len(effects))
+    )
