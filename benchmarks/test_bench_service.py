@@ -1,0 +1,80 @@
+"""Sweep-service benchmark — the warm cache must embarrass the cold path.
+
+The content-addressed store exists so that a sweep is only ever simulated
+once: the second submission of an identical :class:`SweepSpec` should be
+served entirely from the JSONL shards (a handful of SHA lookups and record
+deserializations) instead of re-running thousands of interactions per spec.
+The ``--perf`` assertion pins that contract at **≥20×**: a warm run of the
+benchmark sweep must be at least twenty times faster than the cold run that
+populated the store.
+
+Marker-free smoke tests keep the store path exercised — correct and
+importable — in the default suite and in the CI bench-smoke job.
+"""
+
+import time
+
+import pytest
+
+from repro.api.executor import SweepRunner
+from repro.api.spec import SweepSpec
+from repro.service.store import ResultStore
+
+#: Big enough that simulation dominates store overhead by a wide margin.
+SWEEP = SweepSpec(
+    name="bench-service",
+    protocols=("circles", "cancellation-plurality"),
+    populations=(64, 128),
+    ks=(3,),
+    engines=("batch",),
+    trials=4,
+    seed=97,
+    max_steps_quadratic=200,
+)
+
+
+def _timed_run(store: ResultStore) -> tuple[float, int]:
+    start = time.perf_counter()
+    result = SweepRunner(store=store).run(SWEEP)
+    return time.perf_counter() - start, len(result.records)
+
+
+def test_store_round_trip_smoke(tmp_path):
+    """Smoke (default suite): cold populates, warm serves, records agree."""
+    tiny = SweepSpec(**{**SWEEP.to_dict(), "populations": (8,), "trials": 1})
+    cold = SweepRunner(store=ResultStore(tmp_path)).run(tiny)
+    warm_store = ResultStore(tmp_path)
+    warm = SweepRunner(store=warm_store).run(tiny)
+    assert warm.records == cold.records
+    assert warm_store.hits == len(tiny)
+
+
+@pytest.mark.perf
+def test_warm_cache_is_20x_faster_than_cold(tmp_path, record_perf):
+    """The issue's acceptance bar: warm ≥20× cold on the benchmark sweep."""
+    cold_time, total = _timed_run(ResultStore(tmp_path))
+
+    # A fresh store object over the same directory: every record must come
+    # off disk (shard parse + checksum verify), none from simulation.
+    warm_store = ResultStore(tmp_path)
+    warm_time, warm_total = _timed_run(warm_store)
+    assert warm_total == total
+    assert warm_store.hits == total
+
+    speedup = cold_time / warm_time
+    print(
+        f"\ncold sweep: {cold_time:.3f}s, warm sweep: {warm_time:.4f}s "
+        f"({total} runs, speedup {speedup:.0f}x)"
+    )
+    record_perf(
+        "service-warm-cache-vs-cold",
+        n=max(SWEEP.populations),
+        engine="batch",
+        seconds=warm_time,
+        speedup=speedup,
+        baseline_seconds=cold_time,
+    )
+    assert warm_time * 20 <= cold_time, (
+        f"warm cache only {speedup:.1f}x faster than cold "
+        f"({warm_time:.3f}s vs {cold_time:.3f}s for {total} runs)"
+    )

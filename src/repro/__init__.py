@@ -25,6 +25,11 @@ The most common entry points are re-exported here:
   declarative sweep layer (:mod:`repro.api`): describe runs and grids as
   plain data (every axis by registry name), execute them serially or over a
   process pool, and persist the resulting records as JSON.
+* :class:`ResultStore` — the sweep service's content-addressed result cache
+  (:mod:`repro.service`): pass ``store=`` to :func:`run_sweep` and identical
+  specs are served from disk instead of re-simulated, with checkpoint/resume
+  for interrupted sweeps and an HTTP front end
+  (``python -m repro.service.serve``).
 * :func:`predicted_majority`, :func:`predicted_stable_brakets` — the
   combinatorial predictions from the paper's proofs.
 * :mod:`repro.protocols` — baselines and the §4 extensions.
@@ -80,6 +85,7 @@ from repro.exact import (
 )
 from repro.workloads.registry import get_workload, register_workload, workload_names
 from repro.api import RunRecord, RunSpec, SweepResult, SweepSpec, run_sweep
+from repro.service import AsyncExecutor, ResultStore, SweepManifest
 
 __version__ = "1.1.0"
 
@@ -127,6 +133,9 @@ __all__ = [
     "RunRecord",
     "SweepResult",
     "run_sweep",
+    "AsyncExecutor",
+    "ResultStore",
+    "SweepManifest",
 ]
 
 

@@ -43,16 +43,19 @@ from repro.api.executor import (
     MultiprocessingExecutor,
     SerialExecutor,
     SweepRunner,
+    available_executors,
     build_criterion,
+    build_executor,
     build_scheduler,
     execute_run,
     get_runner,
+    register_executor,
     register_runner,
     resolve_workload,
     run_sweep,
 )
 from repro.api.records import RunRecord, SweepResult
-from repro.api.spec import RunSpec, SweepSpec, derive_seed
+from repro.api.spec import RunSpec, SweepSpec, canonical_json, derive_seed, sha_of
 
 __all__ = [
     "RunSpec",
@@ -66,10 +69,15 @@ __all__ = [
     "execute_run",
     "register_runner",
     "get_runner",
+    "register_executor",
+    "build_executor",
+    "available_executors",
     "resolve_workload",
     "build_scheduler",
     "build_criterion",
     "derive_seed",
+    "canonical_json",
+    "sha_of",
     "aggregate_records",
     "group_records",
     "record_value",

@@ -24,7 +24,7 @@ results identical to the serial executor's, record for record.
 from __future__ import annotations
 
 import multiprocessing
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 
 from repro.api.records import RunRecord, SweepResult
 from repro.api.spec import RunSpec, SweepSpec, derive_seed
@@ -258,28 +258,178 @@ class MultiprocessingExecutor:
             return pool.map(execute_run, specs)
 
 
+#: ``builder(workers, **params) -> executor`` (an object with
+#: ``map(specs) -> list[RunRecord]``).  ``workers`` may be ``None`` for the
+#: builder's own default.
+ExecutorBuilder = Callable[..., object]
+
+EXECUTORS: dict[str, ExecutorBuilder] = {
+    "serial": lambda workers=None, **params: SerialExecutor(),
+    "multiprocessing": lambda workers=None, **params: MultiprocessingExecutor(
+        workers if workers is not None else 1
+    ),
+}
+
+
+def register_executor(name: str, builder: ExecutorBuilder, *, overwrite: bool = False) -> None:
+    """Register a named executor usable as ``SweepRunner(executor=name)``."""
+    if not overwrite and name in EXECUTORS:
+        raise ValueError(f"executor name {name!r} is already registered")
+    EXECUTORS[name] = builder
+
+
+def available_executors() -> tuple[str, ...]:
+    """The names :func:`build_executor` accepts, sorted."""
+    _import_service_executors()
+    return tuple(sorted(EXECUTORS))
+
+
+def _import_service_executors() -> None:
+    """Import :mod:`repro.service` once so its executors self-register.
+
+    Mirrors :func:`get_runner`'s lazy experiment import: the service package
+    registers the ``"asyncio"`` work-stealing executor on import, and
+    importing it *here* (instead of at module top) keeps ``repro.api`` free
+    of a circular dependency on the service layer.
+    """
+    if "asyncio" not in EXECUTORS:
+        import repro.service  # noqa: F401  (registers service executors)
+
+
+def build_executor(name: str, workers: int | None = None, **params: object):
+    """Instantiate an executor by registry name.
+
+    Raises:
+        KeyError: for unknown names, listing the available ones (the shared
+            registry error contract of :mod:`repro.utils.errors`).
+    """
+    _import_service_executors()
+    try:
+        builder = EXECUTORS[name]
+    except KeyError:
+        raise unknown_name_error("executor", name, EXECUTORS) from None
+    return builder(workers=workers, **params)
+
+
 class SweepRunner:
     """Execute a :class:`SweepSpec` through a pluggable executor.
 
     ``workers=None`` (or 1) runs serially; ``workers=N`` uses a
-    ``multiprocessing`` pool of N processes.  Pass ``executor=`` to supply
-    any object with a ``map(specs) -> list[RunRecord]`` method instead.
+    ``multiprocessing`` pool of N processes.  Pass ``executor=`` to pick an
+    executor from the registry by name (``"serial"``, ``"multiprocessing"``,
+    the service layer's ``"asyncio"``) or to supply any object with a
+    ``map(specs) -> list[RunRecord]`` method directly.
+
+    ``store=`` plugs in a result cache (duck-typed; canonically a
+    :class:`repro.service.store.ResultStore`).  With a store attached the
+    runner serves every spec whose SHA is already stored instead of
+    re-executing it, persists fresh records as they complete, and checkpoints
+    progress in the store's sweep manifest — so a killed sweep restarted on
+    the same store executes only the remainder.  ``chunk_size`` bounds how
+    many runs are in flight between checkpoints (default: one executor
+    round's worth).
     """
 
-    def __init__(self, workers: int | None = None, executor=None) -> None:
-        if executor is not None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        executor: object | str | None = None,
+        store=None,
+        chunk_size: int | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(
+                f"workers must be a positive number of worker processes, got "
+                f"{workers}; omit it (or pass None) to run serially"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        if isinstance(executor, str):
+            self.executor = build_executor(executor, workers=workers)
+        elif executor is not None:
             self.executor = executor
         elif workers is not None and workers > 1:
             self.executor = MultiprocessingExecutor(workers)
         else:
             self.executor = SerialExecutor()
+        self.store = store
+        self.chunk_size = chunk_size
 
     def run(self, sweep: SweepSpec) -> SweepResult:
-        """Expand the sweep and execute every run."""
-        return SweepResult(spec=sweep, records=self.executor.map(sweep.expand()))
+        """Expand the sweep and execute every run (through the cache, if any)."""
+        specs = sweep.expand()
+        if self.store is None:
+            return SweepResult(spec=sweep, records=self.executor.map(specs))
+        records: list[RunRecord | None] = [None] * len(specs)
+        for index, record, _cached in self._iter_with_store(sweep, specs):
+            records[index] = record
+        return SweepResult(spec=sweep, records=list(records))
+
+    def run_iter(self, sweep: SweepSpec):
+        """Execute the sweep, yielding ``(index, record, cached)`` as runs finish.
+
+        ``index`` is the run's position in ``sweep.expand()`` and ``cached``
+        is True when the record came from the store instead of an execution.
+        This is the streaming entry point behind the sweep service: records
+        are yielded (and, with a store, persisted) chunk by chunk, so a
+        consumer sees results while the sweep is still running and a crash
+        loses at most the chunk in flight.
+        """
+        specs = sweep.expand()
+        if self.store is not None:
+            yield from self._iter_with_store(sweep, specs)
+            return
+        for chunk in self._chunks(list(range(len(specs)))):
+            for index, record in zip(chunk, self.executor.map([specs[i] for i in chunk])):
+                yield index, record, False
+
+    # -- store-backed execution -------------------------------------------------
+
+    def _chunks(self, indices: list[int]) -> Iterator[list[int]]:
+        size = self.chunk_size if self.chunk_size is not None else self._default_chunk_size()
+        for start in range(0, len(indices), size):
+            yield indices[start : start + size]
+
+    def _default_chunk_size(self) -> int:
+        """One executor round: every worker busy, checkpoint after each round."""
+        workers = getattr(self.executor, "workers", 1)
+        try:
+            return max(1, int(workers))
+        except (TypeError, ValueError):
+            return 1
+
+    def _iter_with_store(self, sweep: SweepSpec, specs: Sequence[RunSpec]):
+        manifest = self.store.open_manifest(sweep, specs)
+        pending: list[int] = []
+        for index, spec in enumerate(specs):
+            record = self.store.get(spec)
+            if record is not None:
+                manifest.mark_done(index)
+                yield index, record, True
+            else:
+                manifest.mark_pending(index)
+                pending.append(index)
+        self.store.save_manifest(manifest)
+        for chunk in self._chunks(pending):
+            chunk_records = self.executor.map([specs[i] for i in chunk])
+            for index, record in zip(chunk, chunk_records):
+                self.store.put(specs[index], record)
+                manifest.mark_done(index)
+                yield index, record, False
+            self.store.save_manifest(manifest)
 
 
-def run_sweep(sweep: SweepSpec, workers: int | None = None) -> SweepResult:
-    """Execute a sweep; ``workers`` defaults to the spec's own ``workers`` field."""
+def run_sweep(
+    sweep: SweepSpec,
+    workers: int | None = None,
+    store=None,
+    executor: object | str | None = None,
+) -> SweepResult:
+    """Execute a sweep; ``workers`` defaults to the spec's own ``workers`` field.
+
+    ``store=`` enables the content-addressed result cache (runs already in
+    the store are served, fresh ones persisted); ``executor=`` picks an
+    executor by registry name or instance.
+    """
     effective = workers if workers is not None else sweep.workers
-    return SweepRunner(workers=effective).run(sweep)
+    return SweepRunner(workers=effective, executor=executor, store=store).run(sweep)

@@ -20,9 +20,12 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from pathlib import Path
+
 from repro.api import aggregate as _aggregate
 from repro.api.spec import RunSpec, SweepSpec
 from repro.simulation.runner import RunResult
+from repro.utils.atomic import atomic_write_text
 
 
 @dataclass(frozen=True)
@@ -140,6 +143,21 @@ class RunRecord:
         payload["spec"] = RunSpec.from_dict(payload["spec"])
         return cls(**payload)
 
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> RunRecord:
+        return cls.from_dict(json.loads(text))
+
+    def write_json(self, path: str | Path, indent: int | None = 2) -> None:
+        """Persist the record atomically (write-temp-then-rename).
+
+        A killed process leaves either no file or a complete one — never a
+        truncated record that would poison a later resume.
+        """
+        atomic_write_text(path, self.to_json(indent=indent) + "\n")
+
 
 @dataclass
 class SweepResult:
@@ -197,3 +215,7 @@ class SweepResult:
     @classmethod
     def from_json(cls, text: str) -> SweepResult:
         return cls.from_dict(json.loads(text))
+
+    def write_json(self, path: str | Path, indent: int | None = 2) -> None:
+        """Persist the result atomically (write-temp-then-rename)."""
+        atomic_write_text(path, self.to_json(indent=indent) + "\n")

@@ -32,6 +32,23 @@ from collections.abc import Mapping, Sequence
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
+def canonical_json(data: Any) -> str:
+    """The one canonical JSON spelling of a JSON-native value.
+
+    Sorted keys, compact separators, no NaN: two structurally equal values
+    always serialize to the same byte string, across processes and
+    platforms.  This is the serialization under every content hash in the
+    sweep layer (:meth:`RunSpec.sha`, the result store's record checksums),
+    so cache keys computed today still match files written yesterday.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def sha_of(data: Any) -> str:
+    """Hex SHA-256 of a JSON-native value's canonical serialization."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
 def derive_seed(root_seed: int, tag: str) -> int:
     """Derive a child seed deterministically from a root seed and a label.
 
@@ -127,6 +144,20 @@ class RunSpec:
     def with_seed(self, seed: int) -> RunSpec:
         """A copy of this spec with a different run seed."""
         return replace(self, seed=seed)
+
+    def sha(self) -> str:
+        """The spec's content address: SHA-256 of its canonical JSON form.
+
+        Covers *every* field — protocol, workload, engine, seeds, observers,
+        the ``compiled`` knob — so two specs share a SHA exactly when they
+        describe the same deterministic run.  Execution is a pure function of
+        the spec, so this is a sound cache key: the sweep service's
+        :class:`~repro.service.store.ResultStore` serves a stored
+        :class:`~repro.api.records.RunRecord` for a SHA instead of
+        re-simulating, and any field change (a different seed, an extra
+        observer) changes the SHA and misses the cache.
+        """
+        return sha_of(self.to_dict())
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
@@ -275,6 +306,14 @@ class SweepSpec:
     def from_dict(cls, data: Mapping[str, Any]) -> SweepSpec:
         """Rebuild a sweep from :meth:`to_dict` output (or hand-written JSON)."""
         return cls(**dict(data))
+
+    def sha(self) -> str:
+        """The sweep's content address (canonical-JSON SHA-256, all fields).
+
+        Names the sweep's manifest in the result store; a restarted
+        half-finished sweep finds its own manifest by recomputing this.
+        """
+        return sha_of(self.to_dict())
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)

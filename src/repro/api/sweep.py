@@ -5,7 +5,13 @@ Usage::
     python -m repro.api.sweep spec.json                 # run, print summary table
     python -m repro.api.sweep spec.json -o result.json  # also persist the SweepResult
     python -m repro.api.sweep spec.json --workers 4     # multiprocessing pool
+    python -m repro.api.sweep spec.json --executor asyncio --store results/
     python -m repro.api.sweep spec.json --group protocol n k --value steps
+
+With ``--store`` the sweep runs through the content-addressed result cache
+(:mod:`repro.service`): runs already in the store are served instead of
+re-simulated, fresh records are persisted, and progress is checkpointed so a
+killed invocation resumes where it stopped.
 
 ``spec.json`` holds a :class:`~repro.api.spec.SweepSpec` in its
 ``to_dict``/``to_json`` form, e.g.::
@@ -55,6 +61,17 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes (overrides the spec's own 'workers' field)",
     )
     parser.add_argument(
+        "--executor",
+        default=None,
+        help="executor registry name (serial, multiprocessing, asyncio)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory: serve cached runs, persist fresh ones, "
+        "checkpoint progress for resume (repro.service)",
+    )
+    parser.add_argument(
         "--group",
         nargs="+",
         default=("protocol", "workload", "n", "k"),
@@ -78,7 +95,13 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.spec, "r", encoding="utf-8") as handle:
         sweep = SweepSpec.from_json(handle.read())
 
-    result = run_sweep(sweep, workers=args.workers)
+    store = None
+    if args.store is not None:
+        from repro.service.store import ResultStore
+
+        store = ResultStore(args.store)
+
+    result = run_sweep(sweep, workers=args.workers, store=store, executor=args.executor)
 
     rows = result.aggregate(value=args.value, by=tuple(args.group), stats=tuple(args.stats))
     if rows:
@@ -86,9 +109,14 @@ def main(argv: list[str] | None = None) -> int:
         print(format_table(headers, [[row[header] for header in headers] for row in rows]))
     print(f"{len(result.records)} runs ({sweep.name or 'unnamed sweep'}, seed={sweep.seed})")
 
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"store {args.store}: {stats['hits']} cached, {stats['misses']} computed, "
+            f"{stats['corrupt']} corrupt"
+        )
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(result.to_json(indent=2))
+        result.write_json(args.output)
         print(f"wrote {args.output}")
     return 0
 

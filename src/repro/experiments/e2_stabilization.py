@@ -177,20 +177,26 @@ def run(
     seed: int = 7,
     engine: str = "agent",
     workers: int | None = None,
+    store=None,
 ) -> ExperimentResult:
     """Build the E2 stabilization table from the declarative sweep.
 
     ``engine`` selects the simulation engine for every sweep point (see
     :func:`_measure_on_colors` for how the potential check coarsens under the
     configuration-level engines); ``workers`` fans the sweep out over a
-    process pool.
+    process pool.  ``store`` (a :class:`repro.service.store.ResultStore`)
+    makes table regeneration incremental: rows whose runs are already stored
+    are served from cache, so re-rendering after a parameter tweak simulates
+    only the new sweep points.
     """
     result = ExperimentResult(
         experiment_id="E2",
         title="Stabilization: ket exchanges are finite, g(C) strictly decreases (Theorem 3.4)",
         headers=("n", "k", "ket exchanges", "interactions to stability", "g(C) strictly decreasing"),
     )
-    sweep_result = run_sweep(sweep_spec(populations, ks, seed=seed, engine=engine), workers=workers)
+    sweep_result = run_sweep(
+        sweep_spec(populations, ks, seed=seed, engine=engine), workers=workers, store=store
+    )
     for record in sweep_result.records:
         result.add_row(
             record.num_agents,

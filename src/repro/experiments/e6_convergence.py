@@ -136,6 +136,7 @@ def run(
     engine: str = "batch",
     workers: int | None = None,
     exact_max_n: int = 8,
+    store=None,
 ) -> ExperimentResult:
     """Build the E6 convergence/correctness comparison table.
 
@@ -151,6 +152,9 @@ def run(
             "exact E[interactions]" column (the expected first-hitting time
             of the stopping criterion in the exact configuration chain,
             :mod:`repro.exact`); larger rows show "—".
+        store: optional :class:`repro.service.store.ResultStore` — table
+            regeneration becomes incremental, re-simulating only the sweep
+            points not already in the store.
     """
     result = ExperimentResult(
         experiment_id="E6",
@@ -167,7 +171,7 @@ def run(
         ),
     )
     for sweep in sweep_specs(populations, ks, trials, seed, adversarial, engine):
-        sweep_result = run_sweep(sweep, workers=workers)
+        sweep_result = run_sweep(sweep, workers=workers, store=store)
         rows = sweep_result.aggregate(
             value="steps", by=("protocol", "workload", "n", "k"), stats=("mean",)
         )

@@ -1,0 +1,154 @@
+"""The ``asyncio`` work-stealing executor: the service's job queue.
+
+A pool of worker coroutines pulls run indices from one shared deque — the
+coroutine form of work stealing: there is no up-front partition of specs to
+workers, so a worker that drew short runs keeps stealing the remaining work
+from the common pool while a long run occupies another.  Each run executes
+in a thread (:func:`asyncio.to_thread`), so the event loop stays responsive
+for timeout enforcement and cancellation while the simulation computes.
+
+Robustness contract (per run):
+
+* **timeout** — a run exceeding ``timeout`` seconds is abandoned and counts
+  as a failed attempt;
+* **bounded retry with backoff** — a failed attempt is retried up to
+  ``retries`` times, sleeping ``backoff * 2**attempt`` seconds in between;
+* **graceful cancellation** — when any run exhausts its retries (or the
+  caller cancels), every in-flight worker is cancelled and awaited before
+  :meth:`AsyncExecutor.map` raises, so no stray tasks outlive the call.
+
+Determinism: :func:`~repro.api.executor.execute_run` is a pure function of
+the spec, and results are collected into spec order, so ``map`` is
+record-for-record identical to the serial and multiprocessing executors —
+the property the parametrized executor-agreement tests pin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from collections.abc import Sequence
+
+from repro.api.executor import execute_run, register_executor
+from repro.api.records import RunRecord
+from repro.api.spec import RunSpec
+
+#: Default coroutine-pool width (runs execute in threads; the GIL serializes
+#: the CPU work, so the width mostly bounds queued thread-pool jobs).
+DEFAULT_WORKERS = 4
+
+
+class RunFailed(RuntimeError):
+    """A run kept failing after every retry.
+
+    Carries the failing spec and the attempt count; the original exception
+    (or :class:`TimeoutError` for a timed-out run) is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, spec: RunSpec, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"run {spec.sha()[:12]} ({spec.protocol}, n={spec.n}, k={spec.k}) "
+            f"failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.spec = spec
+        self.attempts = attempts
+
+
+class AsyncExecutor:
+    """Run specs through an ``asyncio`` worker pool over one shared queue.
+
+    Registered as executor ``"asyncio"``; drop-in compatible with
+    :class:`~repro.api.executor.SerialExecutor` (same ``map`` contract, same
+    records).
+    """
+
+    name = "asyncio"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        timeout: float | None = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+    ) -> None:
+        workers = DEFAULT_WORKERS if workers is None else workers
+        if workers < 1:
+            raise ValueError(
+                f"workers must be a positive number of workers, got {workers}; "
+                f"omit it (or pass None) for the default"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive (seconds), got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be non-negative (seconds), got {backoff}")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    def map(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
+        """Execute every spec; records return in spec order.
+
+        Raises :class:`RunFailed` when a spec exhausts its retries; all other
+        in-flight work is cancelled and awaited first.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        return asyncio.run(self._run_all(specs))
+
+    async def _run_all(self, specs: list[RunSpec]) -> list[RunRecord]:
+        queue: deque[int] = deque(range(len(specs)))
+        results: list[RunRecord | None] = [None] * len(specs)
+        workers = [
+            asyncio.create_task(self._worker(queue, specs, results))
+            for _ in range(min(self.workers, len(specs)))
+        ]
+        try:
+            await asyncio.gather(*workers)
+        finally:
+            # Graceful cancellation: on failure (or external cancellation)
+            # bring every sibling worker down before surfacing the cause.
+            for task in workers:
+                task.cancel()
+            await asyncio.gather(*workers, return_exceptions=True)
+        assert all(record is not None for record in results)
+        return list(results)  # type: ignore[arg-type]
+
+    async def _worker(
+        self,
+        queue: deque[int],
+        specs: list[RunSpec],
+        results: list[RunRecord | None],
+    ) -> None:
+        while queue:
+            index = queue.popleft()
+            results[index] = await self._execute_with_retry(specs[index])
+
+    async def _execute_with_retry(self, spec: RunSpec) -> RunRecord:
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                job = asyncio.to_thread(execute_run, spec)
+                if self.timeout is not None:
+                    return await asyncio.wait_for(job, timeout=self.timeout)
+                return await job
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:  # noqa: BLE001 - retry then wrap
+                if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                    raise
+                if attempt + 1 >= attempts:
+                    raise RunFailed(spec, attempts, error) from error
+                await asyncio.sleep(self.backoff * (2**attempt))
+        raise AssertionError("unreachable: the retry loop returns or raises")
+
+
+register_executor(
+    AsyncExecutor.name,
+    lambda workers=None, **params: AsyncExecutor(workers, **params),
+)

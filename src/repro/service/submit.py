@@ -1,0 +1,97 @@
+"""Submit a spec to a running sweep service and stream the records back.
+
+Usage::
+
+    python -m repro.service.submit spec.json                       # sweep spec
+    python -m repro.service.submit run.json --run                  # single RunSpec
+    python -m repro.service.submit spec.json -o records.jsonl      # also persist
+    python -m repro.service.submit spec.json --url http://host:8731
+
+The spec kind is auto-detected (a JSON object with a ``"protocols"`` key is
+a :class:`~repro.api.spec.SweepSpec`, otherwise a
+:class:`~repro.api.spec.RunSpec`); ``--run``/``--sweep`` force it.  Each
+response line is an envelope ``{"index", "cached", "sha", "record"}`` and is
+printed as it arrives — the server streams runs as they finish, so a long
+sweep shows progress immediately and cached runs come back at once.
+
+Exit status is non-zero when the server reports an in-stream error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+
+from repro.utils.atomic import atomic_write_text
+
+
+def _stream(url: str, route: str, payload: dict):
+    request = urllib.request.Request(
+        url.rstrip("/") + route,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        for raw in response:
+            line = raw.decode("utf-8").strip()
+            if line:
+                yield line
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.submit",
+        description="Submit SweepSpec/RunSpec JSON to a sweep service; stream JSONL back.",
+    )
+    parser.add_argument("spec", help="path to a SweepSpec or RunSpec JSON file")
+    parser.add_argument("--url", default="http://127.0.0.1:8731", help="service base URL")
+    kind = parser.add_mutually_exclusive_group()
+    kind.add_argument("--sweep", action="store_true", help="treat the file as a SweepSpec")
+    kind.add_argument("--run", action="store_true", help="treat the file as a RunSpec")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the streamed envelopes to this JSONL file (atomic)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="print a summary line only"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    is_sweep = args.sweep or (not args.run and "protocols" in payload)
+    route = "/sweep" if is_sweep else "/run"
+
+    received: list[str] = []
+    cached = 0
+    failed = False
+    for line in _stream(args.url, route, payload):
+        parsed = json.loads(line)
+        if "error" in parsed:
+            print(f"server error: {parsed['error']}", file=sys.stderr)
+            failed = True
+            break
+        received.append(line)
+        cached += bool(parsed.get("cached"))
+        if not args.quiet:
+            print(line)
+            sys.stdout.flush()
+
+    if args.output and received:
+        atomic_write_text(args.output, "\n".join(received) + "\n")
+    print(
+        f"{len(received)} record(s) from {args.url}{route} "
+        f"({cached} cached, {len(received) - cached} computed)"
+        + (f" -> {args.output}" if args.output and received else ""),
+        file=sys.stderr,
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

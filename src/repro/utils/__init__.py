@@ -2,10 +2,12 @@
 
 This package contains small, dependency-free building blocks used across the
 library: a generic multiset, ordinal-number arithmetic (used by the
-stabilization potential of Theorem 3.4), deterministic random-number helpers
-and plain-text table rendering for experiment reports.
+stabilization potential of Theorem 3.4), deterministic random-number helpers,
+plain-text table rendering for experiment reports and atomic file writes for
+every persisted result.
 """
 
+from repro.utils.atomic import atomic_write_text
 from repro.utils.multiset import Multiset
 from repro.utils.ordinal import Ordinal
 from repro.utils.rng import make_rng, spawn_rngs
@@ -14,6 +16,7 @@ from repro.utils.tables import format_table
 __all__ = [
     "Multiset",
     "Ordinal",
+    "atomic_write_text",
     "make_rng",
     "spawn_rngs",
     "format_table",

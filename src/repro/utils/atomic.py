@@ -1,0 +1,43 @@
+"""Atomic file writes.
+
+Result files are the contract between a sweep and every later consumer — a
+resumed sweep, the report renderers, the service's cache.  A plain
+``open(path, "w")`` interrupted by a kill leaves a truncated file that *looks*
+like a result; :func:`atomic_write_text` makes that impossible by writing to
+a temporary sibling and :func:`os.replace`-ing it over the target, so readers
+only ever observe the old content or the complete new content.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (write-temp-then-rename).
+
+    The temporary file lives in the target's directory so the final
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX and Windows).
+    The data is flushed and fsynced before the rename, so a crash at any
+    point leaves either the previous file or the complete new one — never a
+    truncated mix.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except FileNotFoundError:
+            pass
+        raise

@@ -6,10 +6,13 @@ from repro.api.executor import (
     MultiprocessingExecutor,
     SerialExecutor,
     SweepRunner,
+    available_executors,
     build_criterion,
+    build_executor,
     build_scheduler,
     execute_run,
     get_runner,
+    register_executor,
     register_runner,
     resolve_workload,
     run_sweep,
@@ -91,6 +94,74 @@ class TestParallelEquivalence:
         with pytest.raises(ValueError):
             MultiprocessingExecutor(0)
         assert MultiprocessingExecutor(1).map([]) == SerialExecutor().map([])
+
+
+class TestSweepRunnerValidation:
+    """Fix (satellite): non-positive workers fail loudly up front, not deep
+    inside the pool machinery."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_workers_zero_or_negative_raise_value_error(self, bad):
+        with pytest.raises(ValueError, match="workers must be a positive"):
+            SweepRunner(workers=bad)
+        with pytest.raises(ValueError, match="workers must be a positive"):
+            run_sweep(SweepSpec(protocols=("circles",), populations=(8,), ks=(2,)),
+                      workers=bad)
+
+    def test_error_message_names_the_remedy(self):
+        with pytest.raises(ValueError, match="omit it \\(or pass None\\)"):
+            SweepRunner(workers=0)
+
+    def test_none_and_one_still_run_serially(self):
+        assert isinstance(SweepRunner(workers=None).executor, SerialExecutor)
+        assert isinstance(SweepRunner(workers=1).executor, SerialExecutor)
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            SweepRunner(chunk_size=0)
+
+
+class TestExecutorRegistry:
+    def test_builtin_names_resolve(self):
+        assert isinstance(build_executor("serial"), SerialExecutor)
+        built = build_executor("multiprocessing", workers=3)
+        assert isinstance(built, MultiprocessingExecutor)
+        assert built.workers == 3
+
+    def test_available_includes_the_service_executor(self):
+        names = available_executors()
+        assert {"serial", "multiprocessing", "asyncio"} <= set(names)
+        assert names == tuple(sorted(names))
+
+    def test_unknown_executor_raises_with_listing(self):
+        with pytest.raises(KeyError, match="unknown executor 'nope'"):
+            build_executor("nope")
+
+    def test_register_executor_guards_collisions(self):
+        register_executor("api-test-executor", lambda workers=None, **p: SerialExecutor())
+        assert isinstance(build_executor("api-test-executor"), SerialExecutor)
+        with pytest.raises(ValueError, match="already registered"):
+            register_executor("api-test-executor", lambda workers=None, **p: SerialExecutor())
+        register_executor(
+            "api-test-executor", lambda workers=None, **p: SerialExecutor(), overwrite=True
+        )
+
+    def test_sweep_runner_accepts_executor_names(self):
+        sweep = SweepSpec(protocols=("circles",), populations=(8,), ks=(2,), trials=2,
+                          seed=5, engines=("batch",), max_steps_quadratic=200)
+        by_name = SweepRunner(executor="serial").run(sweep)
+        assert by_name.records == SweepRunner().run(sweep).records
+
+
+class TestRunIter:
+    def test_streaming_matches_run_in_order_and_content(self):
+        sweep = SweepSpec(protocols=("circles",), populations=(8, 10), ks=(2,), trials=2,
+                          seed=11, engines=("batch",), max_steps_quadratic=200)
+        runner = SweepRunner(chunk_size=3)
+        events = list(runner.run_iter(sweep))
+        assert [index for index, _record, _cached in events] == list(range(len(sweep)))
+        assert all(not cached for _i, _r, cached in events)
+        assert [record for _i, record, _c in events] == SweepRunner().run(sweep).records
 
 
 class TestRegistries:

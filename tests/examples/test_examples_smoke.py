@@ -22,6 +22,7 @@ EXAMPLES: dict[str, dict[str, object]] = {
     "sensor_network": {"NUM_SENSORS": 12, "NUM_BUCKETS": 3, "TRIALS": 1},
     "scheduler_adversary": {"NUM_AGENTS": 8},
     "chemical_computation": {"NUM_MOLECULES": 10, "NUM_SPECIES_COLORS": 3},
+    "service_demo": {"POPULATIONS": (8, 10), "TRIALS": 1},
     # Already tiny by construction (the exact engine enumerates the whole
     # configuration space); nothing to shrink.
     "exact_analysis": {},

@@ -1,0 +1,111 @@
+"""SweepManifest: progress ledger semantics and atomic persistence."""
+
+import json
+
+import pytest
+
+from repro.api.spec import SweepSpec
+from repro.service.manifest import SweepManifest
+from repro.service.store import ResultStore
+
+
+def small_sweep(seed: int = 7) -> SweepSpec:
+    return SweepSpec(
+        protocols=("circles",), populations=(8,), ks=(2,), engines=("batch",),
+        trials=3, seed=seed, max_steps_quadratic=200,
+    )
+
+
+class TestManifestSemantics:
+    def test_progress_lifecycle(self):
+        manifest = SweepManifest(sweep_sha="s" * 64, name="demo", run_shas=["a", "b", "c"])
+        assert manifest.total == 3
+        assert manifest.pending() == [0, 1, 2]
+        assert not manifest.complete
+        manifest.mark_done(1)
+        assert manifest.pending() == [0, 2]
+        manifest.mark_pending(1)
+        assert manifest.pending() == [0, 1, 2]
+        for index in range(3):
+            manifest.mark_done(index)
+        assert manifest.complete
+        assert manifest.progress()["done"] == 3
+
+    def test_index_bounds_are_checked(self):
+        manifest = SweepManifest(sweep_sha="s", name="", run_shas=["a"])
+        with pytest.raises(IndexError):
+            manifest.mark_done(1)
+        with pytest.raises(IndexError):
+            manifest.mark_pending(-1)
+
+    def test_json_round_trip(self):
+        manifest = SweepManifest(sweep_sha="s" * 64, name="demo", run_shas=["a", "b"])
+        manifest.mark_done(1)
+        clone = SweepManifest.from_json(manifest.to_json())
+        assert clone.sweep_sha == manifest.sweep_sha
+        assert list(clone.run_shas) == list(manifest.run_shas)
+        assert clone.done == {1}
+
+    def test_save_is_atomic_and_loadable(self, tmp_path):
+        manifest = SweepManifest(sweep_sha="s" * 64, name="demo", run_shas=["a", "b"])
+        path = tmp_path / "deep" / "manifest.json"
+        manifest.save(path)
+        assert SweepManifest.load(path).to_dict() == manifest.to_dict()
+        # No temp droppings next to the target.
+        assert [p.name for p in path.parent.iterdir()] == [path.name]
+
+
+class TestStoreManifests:
+    def test_open_manifest_creates_then_resumes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sweep = small_sweep()
+        specs = sweep.expand()
+        manifest = store.open_manifest(sweep, specs)
+        assert manifest.total == len(specs)
+        assert manifest.sweep_sha == sweep.sha()
+        manifest.mark_done(0)
+        store.save_manifest(manifest)
+
+        resumed = store.open_manifest(sweep, specs)
+        assert resumed.done == {0}
+
+    def test_stale_manifest_is_discarded(self, tmp_path):
+        """Same path, different run SHAs -> fresh manifest, not a wrong resume."""
+        store = ResultStore(tmp_path)
+        sweep = small_sweep()
+        specs = sweep.expand()
+        manifest = store.open_manifest(sweep, specs)
+        manifest.mark_done(0)
+        # Corrupt the ledger: rewrite it with foreign run SHAs.
+        manifest.run_shas = ("x", "y", "z")
+        store.save_manifest(manifest)
+
+        fresh = store.open_manifest(sweep, specs)
+        assert fresh.done == set()
+        assert list(fresh.run_shas) == [spec.sha() for spec in specs]
+
+    def test_unreadable_manifest_is_recreated(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sweep = small_sweep()
+        specs = sweep.expand()
+        store.manifest_path(sweep.sha()).write_text("{not json")
+        fresh = store.open_manifest(sweep, specs)
+        assert fresh.done == set()
+
+    def test_manifests_listing_skips_broken_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sweep = small_sweep()
+        store.save_manifest(store.open_manifest(sweep, sweep.expand()))
+        (store.manifests_dir / "broken.json").write_text("{not json")
+        listed = store.manifests()
+        assert len(listed) == 1
+        assert listed[0].sweep_sha == sweep.sha()
+
+    def test_manifest_file_is_valid_json_on_disk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sweep = small_sweep()
+        manifest = store.open_manifest(sweep, sweep.expand())
+        store.save_manifest(manifest)
+        on_disk = json.loads(store.manifest_path(sweep.sha()).read_text())
+        assert on_disk["sweep_sha"] == sweep.sha()
+        assert on_disk["done"] == []

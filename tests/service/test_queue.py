@@ -1,0 +1,167 @@
+"""The asyncio work-stealing executor: identity, retry, timeout, cancellation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.api.executor import (
+    SerialExecutor,
+    SweepRunner,
+    available_executors,
+    build_executor,
+    register_runner,
+)
+from repro.api.records import RunRecord
+from repro.api.spec import RunSpec, SweepSpec
+from repro.service.queue import AsyncExecutor, RunFailed
+
+
+def toy_record(spec: RunSpec) -> RunRecord:
+    return RunRecord(
+        spec=spec, seed=spec.seed, protocol_name=spec.protocol, num_agents=spec.n,
+        num_colors=spec.k, engine=spec.engine, scheduler_name="none", converged=True,
+        correct=True, steps=0, interactions_changed=0,
+    )
+
+
+#: Shared state for the flaky/sleepy runners (threads share the process).
+_FLAKY = {"failures_left": 0, "attempts": 0, "lock": threading.Lock()}
+
+
+def _flaky_runner(spec: RunSpec) -> RunRecord:
+    with _FLAKY["lock"]:
+        _FLAKY["attempts"] += 1
+        if _FLAKY["failures_left"] > 0:
+            _FLAKY["failures_left"] -= 1
+            raise RuntimeError("transient worker failure (test)")
+    return toy_record(spec)
+
+
+def _sleepy_runner(spec: RunSpec) -> RunRecord:
+    time.sleep(0.4)
+    return toy_record(spec)
+
+
+register_runner("service-test-flaky", _flaky_runner, overwrite=True)
+register_runner("service-test-sleepy", _sleepy_runner, overwrite=True)
+
+
+class TestRecordIdentity:
+    """Acceptance: asyncio is record-identical to serial and multiprocessing."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return SweepSpec(
+            protocols=("circles", "cancellation-plurality"),
+            populations=(8, 12),
+            ks=(3,),
+            engines=("batch",),
+            trials=2,
+            seed=31,
+            max_steps_quadratic=200,
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_records(self, sweep):
+        return SerialExecutor().map(sweep.expand())
+
+    @pytest.mark.parametrize("executor", ["serial", "multiprocessing", "asyncio"])
+    def test_executor_agreement(self, executor, sweep, serial_records):
+        records = build_executor(executor, workers=3).map(sweep.expand())
+        assert records == serial_records
+
+    def test_asyncio_through_sweep_runner_by_name(self, sweep, serial_records):
+        result = SweepRunner(executor="asyncio", workers=2).run(sweep)
+        assert result.records == serial_records
+
+    def test_single_worker_and_empty_input(self):
+        assert AsyncExecutor(1).map([]) == []
+        spec = RunSpec(protocol="circles", n=8, k=2, engine="batch", seed=3,
+                       max_steps=2_000)
+        assert AsyncExecutor(1).map([spec]) == SerialExecutor().map([spec])
+
+    def test_more_workers_than_specs(self):
+        spec = RunSpec(protocol="circles", n=8, k=2, engine="batch", seed=3,
+                       max_steps=2_000)
+        assert AsyncExecutor(16).map([spec, spec]) == SerialExecutor().map([spec, spec])
+
+
+class TestRetryAndBackoff:
+    def test_transient_failures_are_retried(self):
+        specs = [RunSpec(protocol="circles", n=8, k=2, seed=i,
+                         runner="service-test-flaky") for i in range(4)]
+        with _FLAKY["lock"]:
+            _FLAKY["failures_left"] = 3
+            _FLAKY["attempts"] = 0
+        # retries=3: even if one unlucky spec absorbs all three failures it
+        # still has an attempt left, so the test is schedule-independent.
+        records = AsyncExecutor(2, retries=3, backoff=0.001).map(specs)
+        assert [record.spec for record in records] == specs
+        assert _FLAKY["attempts"] == len(specs) + 3  # each failure retried
+
+    def test_retry_budget_is_bounded(self):
+        spec = RunSpec(protocol="circles", n=8, k=2, seed=1, runner="service-test-flaky")
+        with _FLAKY["lock"]:
+            _FLAKY["failures_left"] = 10**9
+            _FLAKY["attempts"] = 0
+        with pytest.raises(RunFailed) as excinfo:
+            AsyncExecutor(2, retries=2, backoff=0.001).map([spec])
+        with _FLAKY["lock"]:
+            _FLAKY["failures_left"] = 0
+        assert excinfo.value.attempts == 3  # 1 attempt + 2 retries
+        assert excinfo.value.spec == spec
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_failure_cancels_the_rest_gracefully(self):
+        """A terminal failure surfaces promptly; map never hangs."""
+        bad = RunSpec(protocol="circles", n=8, k=2, seed=1, runner="service-test-flaky")
+        slow = [RunSpec(protocol="circles", n=8, k=2, seed=i,
+                        runner="service-test-sleepy") for i in range(2, 6)]
+        with _FLAKY["lock"]:
+            _FLAKY["failures_left"] = 10**9
+        try:
+            with pytest.raises(RunFailed):
+                AsyncExecutor(2, retries=0, backoff=0.0).map([bad] + slow)
+        finally:
+            with _FLAKY["lock"]:
+                _FLAKY["failures_left"] = 0
+
+
+class TestTimeout:
+    def test_run_exceeding_timeout_fails_after_retries(self):
+        spec = RunSpec(protocol="circles", n=8, k=2, seed=1, runner="service-test-sleepy")
+        start = time.perf_counter()
+        with pytest.raises(RunFailed) as excinfo:
+            AsyncExecutor(1, timeout=0.05, retries=1, backoff=0.001).map([spec])
+        elapsed = time.perf_counter() - start
+        assert isinstance(excinfo.value.__cause__, TimeoutError)
+        assert excinfo.value.attempts == 2
+        assert elapsed < 5.0
+
+    def test_fast_run_is_unaffected_by_timeout(self):
+        spec = RunSpec(protocol="circles", n=8, k=2, engine="batch", seed=3,
+                       max_steps=2_000)
+        records = AsyncExecutor(1, timeout=30.0).map([spec])
+        assert records == SerialExecutor().map([spec])
+
+
+class TestValidationAndRegistry:
+    def test_asyncio_is_registered(self):
+        assert "asyncio" in available_executors()
+        executor = build_executor("asyncio", workers=2, timeout=1.0, retries=0)
+        assert isinstance(executor, AsyncExecutor)
+        assert (executor.workers, executor.timeout, executor.retries) == (2, 1.0, 0)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_workers_must_be_positive(self, bad):
+        with pytest.raises(ValueError, match="workers must be a positive"):
+            AsyncExecutor(bad)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="timeout must be positive"):
+            AsyncExecutor(1, timeout=0)
+        with pytest.raises(ValueError, match="retries must be non-negative"):
+            AsyncExecutor(1, retries=-1)
+        with pytest.raises(ValueError, match="backoff must be non-negative"):
+            AsyncExecutor(1, backoff=-0.1)

@@ -1,0 +1,121 @@
+"""Kill-and-resume integration (satellite): a sweep interrupted mid-flight and
+restarted from its manifest finishes only the remainder, and the merged
+result is record-identical to an uninterrupted run."""
+
+import pytest
+
+from repro.api.executor import SerialExecutor, SweepRunner
+from repro.api.spec import SweepSpec
+from repro.service.store import ResultStore
+
+
+def sweep_spec() -> SweepSpec:
+    return SweepSpec(
+        name="resume-demo",
+        protocols=("circles",),
+        populations=(8, 10, 12),
+        ks=(2,),
+        engines=("batch",),
+        trials=2,
+        seed=17,
+        max_steps_quadratic=200,
+    )
+
+
+class CountingExecutor:
+    def __init__(self) -> None:
+        self.executed = 0
+
+    def map(self, specs):
+        self.executed += len(specs)
+        return SerialExecutor().map(specs)
+
+
+class KillAfter:
+    """Executor that simulates a crash after ``survive`` completed chunks."""
+
+    def __init__(self, survive: int) -> None:
+        self.survive = survive
+        self.calls = 0
+
+    def map(self, specs):
+        if self.calls >= self.survive:
+            raise KeyboardInterrupt("simulated kill mid-sweep")
+        self.calls += 1
+        return SerialExecutor().map(specs)
+
+
+class TestKillAndResume:
+    def test_resume_executes_only_the_remainder(self, tmp_path):
+        sweep = sweep_spec()
+        total = len(sweep)
+        assert total == 6
+
+        # The uninterrupted reference run, no store involved.
+        reference = SweepRunner().run(sweep)
+
+        # First attempt: chunk_size=1 -> a checkpoint after every run; the
+        # executor dies after 2 completed runs, mid-sweep.
+        store = ResultStore(tmp_path)
+        runner = SweepRunner(store=store, executor=KillAfter(survive=2), chunk_size=1)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(sweep)
+
+        # The manifest checkpoint recorded exactly the completed prefix.
+        manifest = store.open_manifest(sweep, sweep.expand())
+        assert len(manifest.done) == 2
+        assert not manifest.complete
+
+        # Restart on a fresh store object over the same directory (a new
+        # process would see exactly this state).
+        store2 = ResultStore(tmp_path)
+        counting = CountingExecutor()
+        resumed = SweepRunner(store=store2, executor=counting).run(sweep)
+        assert counting.executed == total - 2  # only the remainder ran
+        assert store2.hits == 2  # the completed prefix came from the cache
+
+        # The merged result is record-identical to the uninterrupted run.
+        assert resumed.records == reference.records
+        assert [r.to_dict() for r in resumed.records] == [
+            r.to_dict() for r in reference.records
+        ]
+
+        # And the manifest now reads complete.
+        final = store2.open_manifest(sweep, sweep.expand())
+        assert final.complete
+
+    def test_interrupt_during_first_chunk_loses_nothing_stored(self, tmp_path):
+        """Killed before any chunk completes: resume recomputes everything,
+        still matching the reference."""
+        sweep = sweep_spec()
+        store = ResultStore(tmp_path)
+        runner = SweepRunner(store=store, executor=KillAfter(survive=0), chunk_size=2)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(sweep)
+        assert store.stored == 0
+
+        resumed = SweepRunner(store=ResultStore(tmp_path)).run(sweep)
+        assert resumed.records == SweepRunner().run(sweep).records
+
+    def test_double_resume_is_idempotent(self, tmp_path):
+        """Resuming an already-complete sweep executes nothing at all."""
+        sweep = sweep_spec()
+        SweepRunner(store=ResultStore(tmp_path)).run(sweep)
+
+        counting = CountingExecutor()
+        again = SweepRunner(store=ResultStore(tmp_path), executor=counting).run(sweep)
+        assert counting.executed == 0
+        assert again.records == SweepRunner().run(sweep).records
+
+    def test_resume_streams_cached_then_fresh(self, tmp_path):
+        """run_iter marks resumed-prefix records as cached, remainder as fresh."""
+        sweep = sweep_spec()
+        store = ResultStore(tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(store=store, executor=KillAfter(survive=3), chunk_size=1).run(sweep)
+
+        events = list(SweepRunner(store=ResultStore(tmp_path)).run_iter(sweep))
+        assert len(events) == len(sweep)
+        cached_flags = [cached for _index, _record, cached in events]
+        assert cached_flags.count(True) == 3
+        assert sorted(index for index, _r, _c in events) == list(range(len(sweep)))

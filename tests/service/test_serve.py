@@ -1,0 +1,191 @@
+"""The HTTP sweep service end to end: stream, cache, status, submit CLI.
+
+Each test class boots a real ``ThreadingHTTPServer`` on an ephemeral port in
+a daemon thread and talks to it with ``urllib`` — the same stack the submit
+CLI uses — so the close-delimited streaming behavior is exercised for real.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.executor import execute_run
+from repro.api.records import RunRecord
+from repro.api.spec import RunSpec, SweepSpec
+from repro.service.serve import SweepService, serve
+from repro.service.store import ResultStore
+from repro.service.submit import main as submit_main
+
+
+def small_sweep() -> SweepSpec:
+    return SweepSpec(
+        name="serve-demo",
+        protocols=("circles",),
+        populations=(8, 10),
+        ks=(2,),
+        engines=("batch",),
+        trials=2,
+        seed=23,
+        max_steps_quadratic=200,
+    )
+
+
+@pytest.fixture()
+def service(tmp_path):
+    return SweepService(ResultStore(tmp_path / "store"), workers=2, retries=1)
+
+
+@pytest.fixture()
+def server(service):
+    httpd = serve(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{httpd.server_address[1]}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+
+def post_lines(url: str, route: str, payload: dict) -> list[dict]:
+    request = urllib.request.Request(
+        url + route,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return [json.loads(line) for line in response if line.strip()]
+
+
+def get_json(url: str, route: str) -> dict:
+    with urllib.request.urlopen(url + route) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+class TestSweepStreaming:
+    def test_submit_then_resubmit_is_pure_cache(self, server, service):
+        sweep = small_sweep()
+        first = post_lines(server, "/sweep", sweep.to_dict())
+        assert len(first) == len(sweep)
+        assert all(not envelope["cached"] for envelope in first)
+        assert sorted(envelope["index"] for envelope in first) == list(range(len(sweep)))
+
+        second = post_lines(server, "/sweep", sweep.to_dict())
+        assert len(second) == len(sweep)
+        assert all(envelope["cached"] for envelope in second)
+
+        # Record payloads are identical between the computed and cached pass.
+        by_index = lambda envs: {e["index"]: e["record"] for e in envs}  # noqa: E731
+        assert by_index(first) == by_index(second)
+
+        # Envelopes decode to real records whose spec SHA matches the envelope.
+        record = RunRecord.from_dict(first[0]["record"])
+        assert record.spec.sha() == first[0]["sha"]
+
+    def test_status_reflects_cache_and_manifests(self, server, service):
+        sweep = small_sweep()
+        post_lines(server, "/sweep", sweep.to_dict())
+        status = get_json(server, "/status")
+        assert status["queue_depth"] == 0
+        assert status["active_sweeps"] == {}
+        assert status["completed_sweeps"] == 1
+        assert status["completed_runs"] == len(sweep)
+        assert status["cache"]["stored"] == len(sweep)
+        [progress] = status["sweeps"]
+        assert progress["done"] == progress["total"] == len(sweep)
+
+        post_lines(server, "/sweep", sweep.to_dict())
+        status = get_json(server, "/status")
+        assert status["cache"]["hits"] >= len(sweep)
+
+    def test_single_run_route(self, server, service):
+        spec = RunSpec(protocol="circles", n=8, k=2, engine="batch", seed=3,
+                       max_steps=2_000)
+        [envelope] = post_lines(server, "/run", spec.to_dict())
+        assert not envelope["cached"]
+        assert RunRecord.from_dict(envelope["record"]) == execute_run(spec)
+
+        [again] = post_lines(server, "/run", spec.to_dict())
+        assert again["cached"]
+        assert again["record"] == envelope["record"]
+
+
+class TestErrorHandling:
+    def test_bad_spec_is_a_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_lines(server, "/sweep", {"definitely": "not a sweep"})
+        assert excinfo.value.code == 400
+        assert "bad spec" in json.loads(excinfo.value.read().decode("utf-8"))["error"]
+
+    def test_unknown_routes_are_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/nope")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_lines(server, "/nope", {})
+        assert excinfo.value.code == 404
+
+    def test_runtime_failure_is_reported_in_band(self, server):
+        """An unknown protocol passes spec parsing but fails at execution;
+        the error arrives as a JSON line inside the 200 stream."""
+        spec = RunSpec(protocol="no-such-protocol", n=8, k=2, seed=3)
+        lines = post_lines(server, "/run", spec.to_dict())
+        assert any("error" in line for line in lines)
+
+
+class TestSubmitCLI:
+    def test_sweep_round_trip_and_output_file(self, server, tmp_path, capsys):
+        sweep = small_sweep()
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(sweep.to_json())
+        out_path = tmp_path / "records.jsonl"
+
+        code = submit_main([str(spec_path), "--url", server, "-o", str(out_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        stdout_lines = [json.loads(l) for l in captured.out.splitlines() if l.strip()]
+        assert len(stdout_lines) == len(sweep)
+        assert f"{len(sweep)} record(s)" in captured.err
+        saved = [json.loads(l) for l in out_path.read_text().splitlines()]
+        assert saved == stdout_lines
+
+        # Resubmit quietly: everything cached, summary only.
+        code = submit_main([str(spec_path), "--url", server, "-q"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert f"({len(sweep)} cached, 0 computed)" in captured.err
+
+    def test_run_spec_autodetected(self, server, tmp_path, capsys):
+        spec = RunSpec(protocol="circles", n=8, k=2, engine="batch", seed=3,
+                       max_steps=2_000)
+        spec_path = tmp_path / "run.json"
+        spec_path.write_text(spec.to_json())
+        assert submit_main([str(spec_path), "--url", server]) == 0
+        captured = capsys.readouterr()
+        [envelope] = [json.loads(l) for l in captured.out.splitlines() if l.strip()]
+        assert envelope["sha"] == spec.sha()
+
+    def test_in_stream_error_exits_nonzero(self, server, tmp_path, capsys):
+        spec = RunSpec(protocol="no-such-protocol", n=8, k=2, seed=3)
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(spec.to_json())
+        assert submit_main([str(spec_path), "--run", "--url", server]) == 1
+        assert "server error" in capsys.readouterr().err
+
+
+class TestServiceWithoutStore:
+    def test_storeless_service_recomputes(self):
+        service = SweepService(None, workers=1, executor="serial")
+        sweep = small_sweep()
+        events = list(service.stream_sweep(sweep))
+        assert len(events) == len(sweep)
+        assert all(not cached for _i, _r, cached in events)
+        status = service.status()
+        assert status["cache"] is None
+        assert status["completed_runs"] == len(sweep)

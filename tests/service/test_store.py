@@ -1,0 +1,181 @@
+"""Cache-correctness suite for the content-addressed result store (satellite).
+
+The store's contract: identical specs are served from cache bit-identically,
+*any* spec difference misses, and corruption is detected and recomputed —
+never served.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api.executor import SerialExecutor, SweepRunner, execute_run
+from repro.api.records import RunRecord
+from repro.api.spec import RunSpec, SweepSpec, canonical_json, sha_of
+from repro.service.store import ResultStore
+
+
+def small_sweep(seed: int = 7, trials: int = 2) -> SweepSpec:
+    return SweepSpec(
+        protocols=("circles",),
+        populations=(8, 12),
+        ks=(2,),
+        engines=("batch",),
+        trials=trials,
+        seed=seed,
+        max_steps_quadratic=200,
+    )
+
+
+class CountingExecutor:
+    """Serial execution that counts how many specs were actually simulated."""
+
+    def __init__(self) -> None:
+        self.executed = 0
+
+    def map(self, specs):
+        self.executed += len(specs)
+        return SerialExecutor().map(specs)
+
+
+class TestContentAddressing:
+    def test_sha_is_deterministic_and_canonical(self):
+        spec = RunSpec(protocol="circles", n=8, k=2, seed=3)
+        assert spec.sha() == RunSpec.from_json(spec.to_json()).sha()
+        assert spec.sha() == sha_of(spec.to_dict())
+        assert len(spec.sha()) == 64
+
+    def test_canonical_json_sorts_keys_recursively(self):
+        a = canonical_json({"b": 1, "a": {"d": 2, "c": 3}})
+        b = canonical_json({"a": {"c": 3, "d": 2}, "b": 1})
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "variation",
+        [
+            {"seed": 999},
+            {"workload_seed": 999},
+            {"observers": ("energy",)},
+            {"compiled": False},
+            {"engine": "configuration"},
+            {"n": 10},
+            {"max_steps": 123},
+        ],
+    )
+    def test_any_field_difference_changes_the_sha(self, variation):
+        base = RunSpec(protocol="circles", n=8, k=2, seed=3)
+        assert replace(base, **variation).sha() != base.sha()
+
+    def test_sweep_sha_changes_with_any_axis(self):
+        base = small_sweep()
+        assert small_sweep(seed=8).sha() != base.sha()
+        assert replace(base, trials=3).sha() != base.sha()
+
+
+class TestCacheHits:
+    def test_same_spec_twice_hits_the_cache_bit_identically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sweep = small_sweep()
+        counting = CountingExecutor()
+        cold = SweepRunner(store=store, executor=counting).run(sweep)
+        assert counting.executed == len(sweep)
+
+        warm = SweepRunner(store=store, executor=counting).run(sweep)
+        assert counting.executed == len(sweep)  # nothing re-simulated
+        assert warm.records == cold.records
+        # Bit-identical, not merely equal: the canonical serializations match.
+        assert [canonical_json(r.to_dict()) for r in warm.records] == [
+            canonical_json(r.to_dict()) for r in cold.records
+        ]
+        assert store.hits == len(sweep)
+
+    def test_cache_survives_process_restart(self, tmp_path):
+        """A fresh store object over the same directory reloads the shards."""
+        sweep = small_sweep()
+        cold = SweepRunner(store=ResultStore(tmp_path)).run(sweep)
+        counting = CountingExecutor()
+        warm = SweepRunner(store=ResultStore(tmp_path), executor=counting).run(sweep)
+        assert counting.executed == 0
+        assert warm.records == cold.records
+
+    def test_differing_specs_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        base = RunSpec(protocol="circles", n=8, k=2, engine="batch", seed=3, max_steps=2_000)
+        store.put(base, execute_run(base))
+        assert store.get(base) is not None
+        for variation in ({"seed": 4}, {"observers": ("energy",)}, {"compiled": False}):
+            assert store.get(replace(base, **variation)) is None
+
+    def test_get_returns_equal_record_not_same_object(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = RunSpec(protocol="circles", n=8, k=2, engine="batch", seed=3, max_steps=2_000)
+        record = execute_run(spec)
+        store.put(spec, record)
+        served = store.get(spec)
+        assert served == record
+        assert isinstance(served, RunRecord)
+
+
+class TestCorruptionDetection:
+    def _store_one(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = RunSpec(protocol="circles", n=8, k=2, engine="batch", seed=3, max_steps=2_000)
+        record = execute_run(spec)
+        store.put(spec, record)
+        return spec, record
+
+    def _shard_file(self, tmp_path):
+        [shard] = list((tmp_path / "shards").glob("*.jsonl"))
+        return shard
+
+    def test_bitflip_is_detected_and_recomputed_not_served(self, tmp_path):
+        spec, record = self._store_one(tmp_path)
+        shard = self._shard_file(tmp_path)
+        text = shard.read_text()
+        # Flip one digit inside the stored record payload: the line still
+        # parses as JSON but no longer matches its checksum.
+        corrupted = text.replace('"steps": ', '"steps": 9', 1)
+        assert corrupted != text
+        shard.write_text(corrupted)
+
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(spec) is None  # a miss, not a wrong record
+        assert fresh.corrupt == 1
+
+        # The runner recomputes and the recomputed record matches the original.
+        recomputed = execute_run(spec)
+        fresh.put(spec, recomputed)
+        assert fresh.get(spec) == record
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        spec, _record = self._store_one(tmp_path)
+        shard = self._shard_file(tmp_path)
+        text = shard.read_text()
+        shard.write_text(text[: len(text) // 2])  # crash mid-append
+
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(spec) is None
+        assert fresh.corrupt == 1
+
+    def test_garbage_shard_lines_are_counted_and_ignored(self, tmp_path):
+        spec, record = self._store_one(tmp_path)
+        shard = self._shard_file(tmp_path)
+        shard.write_text("not json at all\n" + shard.read_text())
+
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(spec) == record  # the valid line still serves
+        assert fresh.corrupt == 1
+
+
+class TestStoreStats:
+    def test_hit_rate_and_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = RunSpec(protocol="circles", n=8, k=2, engine="batch", seed=3, max_steps=2_000)
+        assert store.hit_rate is None
+        assert store.get(spec) is None
+        store.put(spec, execute_run(spec))
+        assert store.get(spec) is not None
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["stored"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert spec in store

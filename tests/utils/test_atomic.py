@@ -1,0 +1,36 @@
+"""atomic_write_text: write-temp-then-rename semantics."""
+
+import pytest
+
+from repro.utils.atomic import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_creates_file_and_parent_dirs(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "content")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "original")
+        with pytest.raises(TypeError):
+            atomic_write_text(target, object())  # not str: write() raises
+        assert target.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_accepts_str_paths(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(str(target), "via str path")
+        assert target.read_text() == "via str path"
