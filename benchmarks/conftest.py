@@ -10,7 +10,6 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import json
 import platform
 import sys
 import time
@@ -21,6 +20,8 @@ import pytest
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+from repro.utils.perflog import append_perf_entry  # noqa: E402  (needs src on sys.path)
 
 #: Machine-readable perf log, appended to by ``--perf`` runs so the
 #: performance trajectory is tracked across PRs.
@@ -79,12 +80,8 @@ def record_perf(request):
             "python": platform.python_version(),
             "timestamp": int(time.time()),
         }
-        history = (
-            json.loads(BENCH_RESULTS_PATH.read_text())
-            if BENCH_RESULTS_PATH.exists()
-            else []
-        )
-        history.append(entry)
-        BENCH_RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+        # Atomic append (temp-then-rename): an interrupted run must not
+        # destroy the accumulated perf history.
+        append_perf_entry(BENCH_RESULTS_PATH, entry)
 
     return _record

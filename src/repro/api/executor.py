@@ -19,6 +19,15 @@ here, through registries:
 :func:`execute_run` is a module-level function of the spec alone — no shared
 state, no ambient RNG — which is what makes the multiprocessing executor's
 results identical to the serial executor's, record for record.
+
+:func:`execute_replicate_group` is the many-replicate analogue: a pure
+function of a *list* of specs that are identical up to the run seed (a
+"replicate group", the shape :meth:`SweepSpec.expand` produces for
+``trials > 1``).  It routes the whole group through the vector engine's
+lockstep driver (:mod:`repro.simulation.vector_engine`) and assembles the
+same :class:`RunRecord` per row that :func:`execute_run` would have
+produced — bit-identical seeds, bit-identical trajectories — so the sweep
+runner can swap it in transparently whenever a group is eligible.
 """
 
 from __future__ import annotations
@@ -27,7 +36,9 @@ import multiprocessing
 from collections.abc import Callable, Iterator, Sequence
 
 from repro.api.records import RunRecord, SweepResult
-from repro.api.spec import RunSpec, SweepSpec, derive_seed
+from repro.api.spec import RunSpec, SweepSpec, canonical_json, derive_seed
+from repro.core.circles import CirclesProtocol
+from repro.core.potential import configuration_energy, state_weights
 from repro.protocols.base import PopulationProtocol
 from repro.protocols.registry import get_protocol
 from repro.scheduling.adversarial import GreedyStallScheduler, IsolationScheduler
@@ -41,7 +52,14 @@ from repro.simulation.convergence import (
     SilentConfiguration,
     StableCircles,
 )
-from repro.simulation.runner import run_circles, run_protocol
+from repro.simulation.registry import ENGINES
+from repro.simulation.runner import (
+    _true_majority,
+    default_max_steps,
+    run_circles,
+    run_protocol,
+)
+from repro.simulation.vector_engine import ReplicateOutcome, VectorReplicateSimulation
 from repro.utils.errors import unknown_name_error
 from repro.workloads.registry import DEFAULT_WORKLOADS
 
@@ -226,6 +244,178 @@ def execute_run(spec: RunSpec) -> RunRecord:
 
 
 # --------------------------------------------------------------------------- #
+# replicate groups
+# --------------------------------------------------------------------------- #
+
+
+def replicate_group_key(spec: RunSpec) -> str:
+    """The grouping key: the spec's canonical JSON with the run seed blanked.
+
+    Two specs with equal keys describe the same experiment point — same
+    workload (the workload seed is part of the key, so the input colors are
+    too), same protocol, same engine, same budget — and differ only in the
+    per-run seed.  That is exactly the set the vector engine can advance in
+    lockstep.
+    """
+    payload = spec.to_dict()
+    payload.pop("seed", None)
+    return canonical_json(payload)
+
+
+def _replicate_groupable(spec: RunSpec) -> bool:
+    """Whether a spec may be executed as a row of a replicate group.
+
+    The gate mirrors what the lockstep driver can reproduce bit-for-bit:
+    the default ``"protocol"`` runner under the uniform random scheduler
+    (configuration-level engines simulate it directly), no observers, a
+    concrete run seed, and a pinned workload seed (without one the input
+    colors would vary with the run seed, so the rows would not share a
+    configuration).  The engine itself opts in via the
+    ``supports_replicates`` class flag.
+    """
+    engine_cls = ENGINES.get(spec.engine)
+    return (
+        spec.runner == "protocol"
+        and spec.scheduler is None
+        and not spec.observers
+        and spec.seed is not None
+        and spec.workload_seed is not None
+        and engine_cls is not None
+        and engine_cls.supports_replicates
+    )
+
+
+def _configuration_energy_counts(configuration, num_colors: int) -> int:
+    """``configuration_energy`` of a final configuration, ``O(d)`` not ``O(n)``."""
+    states = list(configuration.support())
+    weights = state_weights(states, num_colors)
+    return sum(configuration[state] * weight for state, weight in zip(states, weights))
+
+
+def _replicate_record(
+    spec: RunSpec,
+    outcome: ReplicateOutcome,
+    protocol: PopulationProtocol,
+    num_colors: int,
+    majority: int | None,
+    initial_energy: int | None,
+) -> RunRecord:
+    """One row's :class:`RunRecord`, matching :func:`execute_run` field by field.
+
+    Assembled from the row's final configuration (a multiset over ``d``
+    states) instead of a per-agent state list, so record assembly is
+    ``O(d)`` per row — per-row ``O(n)`` Python here would swallow the
+    group's vectorization win.
+    """
+    output = protocol.output
+    support_outputs = {output(state) for state in outcome.configuration.support()}
+    final_energy = (
+        _configuration_energy_counts(outcome.configuration, num_colors)
+        if initial_energy is not None
+        else None
+    )
+    return RunRecord(
+        spec=spec,
+        seed=spec.seed,
+        protocol_name=protocol.name,
+        num_agents=spec.n,
+        num_colors=num_colors,
+        engine=spec.engine,
+        scheduler_name="uniform-random",
+        converged=outcome.converged,
+        correct=majority is not None and support_outputs == {majority},
+        steps=outcome.steps,
+        interactions_changed=outcome.interactions_changed,
+        majority=majority,
+        unanimous=len(support_outputs) == 1,
+        ket_exchanges=outcome.ket_exchanges,
+        initial_energy=initial_energy,
+        final_energy=final_energy,
+        extras={},
+    )
+
+
+def execute_replicate_group(specs: Sequence[RunSpec]) -> list[RunRecord]:
+    """Execute a replicate group in lockstep; records match serial execution.
+
+    A pure function of the specs, picklable for the multiprocessing
+    executor.  Groups of one, and specs the lockstep driver cannot
+    reproduce, fall back to :func:`execute_run` per spec — callers never
+    need to pre-check eligibility.
+
+    Raises:
+        ValueError: when the specs disagree on anything but the run seed, or
+            when two rows share a seed.  Shared seeds would silently produce
+            duplicated trajectories masquerading as independent replicates;
+            the SHA-derived seeds of :meth:`SweepSpec.expand` are pairwise
+            distinct by construction, so a collision here means hand-built
+            specs reused one.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    if len(specs) == 1 or not all(_replicate_groupable(spec) for spec in specs):
+        return [execute_run(spec) for spec in specs]
+    key = replicate_group_key(specs[0])
+    if any(replicate_group_key(spec) != key for spec in specs[1:]):
+        raise ValueError(
+            "replicate group specs must be identical up to the run seed; "
+            "group runs with SweepRunner (or execute each spec with "
+            "execute_run) instead of hand-assembling mixed groups"
+        )
+    seeds = [spec.seed for spec in specs]
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(
+            f"replicate run seeds must be pairwise distinct, got "
+            f"{len(seeds) - len(set(seeds))} duplicate(s) among {len(seeds)} rows; "
+            "identical seeds replay identical trajectories instead of "
+            "independent replicates"
+        )
+    spec = specs[0]
+    colors = resolve_workload(spec)
+    if spec.protocol == "circles" and spec.criterion is None:
+        # Mirrors the run_circles branch of _protocol_runner: StableCircles,
+        # ket-exchange counting, and the energy bookkeeping of Theorem 3.4.
+        num_colors = spec.k
+        protocol: PopulationProtocol = CirclesProtocol(
+            num_colors, variant=spec.protocol_params.get("variant")
+        )
+        criterion: ConvergenceCriterion = StableCircles()
+        count_ket = True
+        initial_energy = configuration_energy(
+            (protocol.initial_state(color) for color in colors), num_colors
+        )
+    else:
+        protocol = get_protocol(spec.protocol, spec.k, **dict(spec.protocol_params))
+        num_colors = protocol.num_colors
+        criterion = (
+            build_criterion(spec.criterion)
+            if spec.criterion is not None
+            else OutputConsensus()
+        )
+        count_ket = False
+        initial_energy = None
+    budget = (
+        spec.max_steps
+        if spec.max_steps is not None
+        else default_max_steps(len(colors), num_colors)
+    )
+    group = VectorReplicateSimulation.replicate_group_from_colors(
+        protocol,
+        colors,
+        seeds,
+        compiled=spec.compiled,
+        count_ket_exchanges=count_ket,
+    )
+    outcomes = group.run(budget, criterion=criterion)
+    majority = _true_majority(colors)
+    return [
+        _replicate_record(s, outcome, protocol, num_colors, majority, initial_energy)
+        for s, outcome in zip(specs, outcomes)
+    ]
+
+
+# --------------------------------------------------------------------------- #
 # executors
 # --------------------------------------------------------------------------- #
 
@@ -235,6 +425,10 @@ class SerialExecutor:
 
     def map(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
         return [execute_run(spec) for spec in specs]
+
+    def map_groups(self, groups: Sequence[Sequence[RunSpec]]) -> list[list[RunRecord]]:
+        """Execute replicate groups in order (see :func:`execute_replicate_group`)."""
+        return [execute_replicate_group(group) for group in groups]
 
 
 class MultiprocessingExecutor:
@@ -256,6 +450,14 @@ class MultiprocessingExecutor:
         context = multiprocessing.get_context()
         with context.Pool(processes=min(self.workers, len(specs))) as pool:
             return pool.map(execute_run, specs)
+
+    def map_groups(self, groups: Sequence[Sequence[RunSpec]]) -> list[list[RunRecord]]:
+        """One pool task per replicate group; group order is preserved."""
+        if self.workers == 1 or len(groups) <= 1:
+            return SerialExecutor().map_groups(groups)
+        context = multiprocessing.get_context()
+        with context.Pool(processes=min(self.workers, len(groups))) as pool:
+            return pool.map(execute_replicate_group, [list(group) for group in groups])
 
 
 #: ``builder(workers, **params) -> executor`` (an object with
@@ -326,8 +528,19 @@ class SweepRunner:
     re-executing it, persists fresh records as they complete, and checkpoints
     progress in the store's sweep manifest — so a killed sweep restarted on
     the same store executes only the remainder.  ``chunk_size`` bounds how
-    many runs are in flight between checkpoints (default: one executor
-    round's worth).
+    many execution units are in flight between checkpoints (default: one
+    executor round's worth).
+
+    ``vectorize=True`` (the default) detects replicate groups — pending runs
+    identical up to the run seed, the shape ``trials > 1`` expands to — and
+    dispatches each whole group to the vector engine's lockstep driver
+    through the executor's ``map_groups``.  Records are identical to serial
+    execution (see :func:`execute_replicate_group`), so the store, the
+    manifest, and every consumer are oblivious to the routing; a partially
+    cached group simply shrinks to its pending rows.  Executors without a
+    ``map_groups`` method (any pre-existing custom executor) transparently
+    keep the one-spec-at-a-time path.  For chunking purposes a replicate
+    group counts as one unit.
     """
 
     def __init__(
@@ -336,6 +549,7 @@ class SweepRunner:
         executor: object | str | None = None,
         store=None,
         chunk_size: int | None = None,
+        vectorize: bool = True,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(
@@ -354,13 +568,20 @@ class SweepRunner:
             self.executor = SerialExecutor()
         self.store = store
         self.chunk_size = chunk_size
+        self.vectorize = vectorize
 
     def run(self, sweep: SweepSpec) -> SweepResult:
         """Expand the sweep and execute every run (through the cache, if any)."""
         specs = sweep.expand()
         if self.store is None:
-            return SweepResult(spec=sweep, records=self.executor.map(specs))
-        records: list[RunRecord | None] = [None] * len(specs)
+            units = self._units(specs, list(range(len(specs))))
+            if all(len(unit) == 1 for unit in units):
+                return SweepResult(spec=sweep, records=self.executor.map(specs))
+            records: list[RunRecord | None] = [None] * len(specs)
+            for index, record in self._execute_units(specs, units):
+                records[index] = record
+            return SweepResult(spec=sweep, records=list(records))
+        records = [None] * len(specs)
         for index, record, _cached in self._iter_with_store(sweep, specs):
             records[index] = record
         return SweepResult(spec=sweep, records=list(records))
@@ -379,16 +600,68 @@ class SweepRunner:
         if self.store is not None:
             yield from self._iter_with_store(sweep, specs)
             return
-        for chunk in self._chunks(list(range(len(specs)))):
-            for index, record in zip(chunk, self.executor.map([specs[i] for i in chunk])):
+        for chunk in self._chunks(self._units(specs, list(range(len(specs))))):
+            for index, record in self._execute_units(specs, chunk):
                 yield index, record, False
+
+    # -- replicate-group routing ------------------------------------------------
+
+    def _units(self, specs: Sequence[RunSpec], indices: list[int]) -> list[list[int]]:
+        """Partition pending run indices into execution units.
+
+        A unit is either a singleton (executed through ``executor.map``) or a
+        replicate group (executed through ``executor.map_groups``).  Groups
+        preserve first-seen order, and a seed that repeats within a group is
+        split off into its own singleton — a duplicated spec is a legitimate
+        sweep (with a store it is simply a cache hit), not the hard error
+        :func:`execute_replicate_group` reserves for hand-built groups.
+        """
+        if not self.vectorize or not hasattr(self.executor, "map_groups"):
+            return [[index] for index in indices]
+        units: list[list[int]] = []
+        groups: dict[str, tuple[list[int], set[int | None]]] = {}
+        for index in indices:
+            spec = specs[index]
+            if not _replicate_groupable(spec):
+                units.append([index])
+                continue
+            key = replicate_group_key(spec)
+            entry = groups.get(key)
+            if entry is not None and spec.seed not in entry[1]:
+                entry[0].append(index)
+                entry[1].add(spec.seed)
+            elif entry is not None:
+                units.append([index])
+            else:
+                unit = [index]
+                groups[key] = (unit, {spec.seed})
+                units.append(unit)
+        return units
+
+    def _execute_units(
+        self, specs: Sequence[RunSpec], units: list[list[int]]
+    ) -> list[tuple[int, RunRecord]]:
+        """Execute a batch of units; returns ``(index, record)`` in index order."""
+        singles = [unit[0] for unit in units if len(unit) == 1]
+        groups = [unit for unit in units if len(unit) > 1]
+        pairs: list[tuple[int, RunRecord]] = []
+        if singles:
+            pairs.extend(zip(singles, self.executor.map([specs[i] for i in singles])))
+        if groups:
+            group_records = self.executor.map_groups(
+                [[specs[i] for i in unit] for unit in groups]
+            )
+            for unit, records in zip(groups, group_records):
+                pairs.extend(zip(unit, records))
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
 
     # -- store-backed execution -------------------------------------------------
 
-    def _chunks(self, indices: list[int]) -> Iterator[list[int]]:
+    def _chunks(self, units: list) -> Iterator[list]:
         size = self.chunk_size if self.chunk_size is not None else self._default_chunk_size()
-        for start in range(0, len(indices), size):
-            yield indices[start : start + size]
+        for start in range(0, len(units), size):
+            yield units[start : start + size]
 
     def _default_chunk_size(self) -> int:
         """One executor round: every worker busy, checkpoint after each round."""
@@ -410,9 +683,8 @@ class SweepRunner:
                 manifest.mark_pending(index)
                 pending.append(index)
         self.store.save_manifest(manifest)
-        for chunk in self._chunks(pending):
-            chunk_records = self.executor.map([specs[i] for i in chunk])
-            for index, record in zip(chunk, chunk_records):
+        for chunk in self._chunks(self._units(specs, pending)):
+            for index, record in self._execute_units(specs, chunk):
                 self.store.put(specs[index], record)
                 manifest.mark_done(index)
                 yield index, record, False
@@ -424,12 +696,17 @@ def run_sweep(
     workers: int | None = None,
     store=None,
     executor: object | str | None = None,
+    vectorize: bool = True,
 ) -> SweepResult:
     """Execute a sweep; ``workers`` defaults to the spec's own ``workers`` field.
 
     ``store=`` enables the content-addressed result cache (runs already in
     the store are served, fresh ones persisted); ``executor=`` picks an
-    executor by registry name or instance.
+    executor by registry name or instance; ``vectorize=False`` disables the
+    replicate-group routing through the vector engine (the records are
+    identical either way — the flag exists for A/B timing and debugging).
     """
     effective = workers if workers is not None else sweep.workers
-    return SweepRunner(workers=effective, executor=executor, store=store).run(sweep)
+    return SweepRunner(
+        workers=effective, executor=executor, store=store, vectorize=vectorize
+    ).run(sweep)

@@ -135,6 +135,11 @@ class RunSpec:
             raise ValueError(f"a population needs at least two agents, got n={self.n}")
         if self.k < 1:
             raise ValueError(f"need at least one color, got k={self.k}")
+        if self.max_steps is not None and self.max_steps < 0:
+            raise ValueError(
+                f"max_steps must be a non-negative interaction budget, got "
+                f"{self.max_steps}; omit it (or pass None) for the default budget"
+            )
 
     @property
     def effective_workload_seed(self) -> int | None:
@@ -227,6 +232,16 @@ class SweepSpec:
             raise ValueError("a sweep needs at least one color count")
         if self.trials < 1:
             raise ValueError("trials must be at least 1")
+        if self.max_steps is not None and self.max_steps < 0:
+            raise ValueError(
+                f"max_steps must be a non-negative interaction budget, got "
+                f"{self.max_steps}; omit it (or pass None) for the default budget"
+            )
+        if self.max_steps_quadratic is not None and self.max_steps_quadratic < 0:
+            raise ValueError(
+                f"max_steps_quadratic must be a non-negative multiple of n², got "
+                f"{self.max_steps_quadratic}; omit it (or pass None) for the default budget"
+            )
 
     def _budget(self, n: int) -> int | None:
         if self.max_steps is not None:

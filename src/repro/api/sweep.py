@@ -13,6 +13,11 @@ With ``--store`` the sweep runs through the content-addressed result cache
 re-simulated, fresh records are persisted, and progress is checkpointed so a
 killed invocation resumes where it stopped.
 
+Replicate groups (``trials > 1`` on an eligible engine) are routed through
+the vector engine's lockstep driver by default — same records, one
+vectorized pass instead of ``trials`` serial runs.  ``--no-vectorize``
+forces one-spec-at-a-time execution, e.g. for A/B timing.
+
 ``spec.json`` holds a :class:`~repro.api.spec.SweepSpec` in its
 ``to_dict``/``to_json`` form, e.g.::
 
@@ -72,6 +77,12 @@ def main(argv: list[str] | None = None) -> int:
         "checkpoint progress for resume (repro.service)",
     )
     parser.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="disable replicate-group routing through the vector engine "
+        "(records are identical either way)",
+    )
+    parser.add_argument(
         "--group",
         nargs="+",
         default=("protocol", "workload", "n", "k"),
@@ -101,7 +112,13 @@ def main(argv: list[str] | None = None) -> int:
 
         store = ResultStore(args.store)
 
-    result = run_sweep(sweep, workers=args.workers, store=store, executor=args.executor)
+    result = run_sweep(
+        sweep,
+        workers=args.workers,
+        store=store,
+        executor=args.executor,
+        vectorize=not args.no_vectorize,
+    )
 
     rows = result.aggregate(value=args.value, by=tuple(args.group), stats=tuple(args.stats))
     if rows:

@@ -15,6 +15,13 @@ Three complementary checks:
 * **Empirical sweeps** on larger populations under several weakly fair
   schedulers — including the adaptive :class:`GreedyStallScheduler`
   adversary — where the correctness rate must be 100%.
+
+The empirical trials deliberately stay on per-run ``run_circles`` with the
+agent engine: adversarial and adaptive schedulers are exactly what the
+replicate-group vectorization of :mod:`repro.api.executor` cannot reproduce
+(its lockstep rows simulate the uniform random scheduler only), and each
+trial here draws fresh input colors, so no two runs share a configuration
+anyway.
 """
 
 from __future__ import annotations

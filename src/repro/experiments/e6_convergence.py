@@ -141,12 +141,17 @@ def run(
     """Build the E6 convergence/correctness comparison table.
 
     Args:
-        engine: simulation engine (``"agent"``, ``"configuration"`` or
-            ``"batch"``).  All three simulate the uniform random scheduler —
-            exactly for the configuration-level engines, via explicit pair
-            draws for the agent engine — so the measured distributions agree;
-            the default is the batched fast path, which is what makes the
-            large-``n`` convergence sweeps tractable.
+        engine: simulation engine (``"agent"``, ``"configuration"``,
+            ``"batch"`` or ``"vector"``).  All of them simulate the uniform
+            random scheduler — exactly for the configuration-level engines,
+            via explicit pair draws for the agent engine — so the measured
+            distributions agree; the default is the batched fast path, which
+            is what makes the large-``n`` convergence sweeps tractable.  For
+            engines with lockstep support (``"batch"``, ``"vector"``) the
+            sweep runner additionally routes each point's ``trials``
+            replicates through the vector engine's lockstep driver
+            (:mod:`repro.api.executor`), with records identical to serial
+            execution.
         workers: optional process-pool size for the underlying sweeps.
         exact_max_n: populations up to this size get the analytical
             "exact E[interactions]" column (the expected first-hitting time

@@ -14,10 +14,18 @@ behind the shared :class:`repro.simulation.base.SimulationEngine` interface:
   scheduler and scales to large populations.
 * :class:`repro.simulation.batch_engine.BatchConfigurationSimulation`
   (``engine="batch"``) — the same Markov chain as the configuration engine,
-  sampled in exact bursts of ``Θ(√n)`` interactions with bulk per-pair-type
-  transition application and a collision-aware correction.  This is the fast
-  path behind the convergence-time benchmarks (experiment E6) at
-  ``n = 10^5``–``10^6``.
+  sampled in bulk: exact vectorized rounds through the position kernel of
+  :mod:`repro.simulation.vector_kernel` when numpy is available, exact
+  ``Θ(√n)``-interaction bursts with a collision-aware correction otherwise.
+  This is the fast path behind the convergence-time benchmarks (experiment
+  E6) at ``n = 10^5``–``10^6``.
+* :class:`repro.simulation.vector_engine.VectorReplicateSimulation`
+  (``engine="vector"``) — the batch engine plus a many-replicate driver
+  (:meth:`~repro.simulation.vector_engine.VectorReplicateSimulation.replicate_group`)
+  that advances ``R`` independent replicates of one compiled protocol in
+  lockstep on a shared ``(R × n)`` state matrix, each row bit-identical to
+  the looped batch engine under the same seed.  The sweep runner
+  (:mod:`repro.api.executor`) routes whole replicate groups through it.
 
 The configuration-level engines run on *compiled* transition tables by
 default (:mod:`repro.compile`): the configuration is an integer count vector
@@ -51,6 +59,11 @@ from repro.simulation.base import ConfigurationEngine, SimulationEngine, default
 from repro.simulation.engine import AgentSimulation, StepRecord
 from repro.simulation.config_engine import ConfigurationSimulation
 from repro.simulation.batch_engine import BatchConfigurationSimulation
+from repro.simulation.vector_engine import (
+    ReplicateGroup,
+    ReplicateOutcome,
+    VectorReplicateSimulation,
+)
 from repro.simulation.registry import (
     ENGINES,
     available_engines,
@@ -107,6 +120,9 @@ __all__ = [
     "AgentSimulation",
     "ConfigurationSimulation",
     "BatchConfigurationSimulation",
+    "VectorReplicateSimulation",
+    "ReplicateGroup",
+    "ReplicateOutcome",
     "ExactMarkovEngine",
     "ENGINES",
     "available_engines",

@@ -98,6 +98,10 @@ class SimulationEngine(abc.ABC, Generic[State]):
     #: (:mod:`repro.exact`) overrides it, and registry-wide trajectory
     #: suites filter on it.
     samples_trajectories: ClassVar[bool] = True
+    #: Whether runs of this engine are bit-reproduced by the vector replicate
+    #: engine's per-row streams (see :mod:`repro.simulation.vector_engine`) —
+    #: the gate for the sweep runner's replicate-group routing.
+    supports_replicates: ClassVar[bool] = False
 
     protocol: PopulationProtocol[State]
     #: Total interactions simulated so far.

@@ -8,37 +8,34 @@ in the spirit of Gillespie-style aggregation (see
 :mod:`repro.chemistry.gillespie`) and of the batched population-protocol
 simulators of Berenbrink et al.:
 
-1. **Burst length.**  Interactions drawn by the uniform random scheduler
-   involve independent agent pairs, so as long as no agent appears twice the
-   interactions commute and can be applied in any order.  The number of
-   interactions until an agent is re-drawn depends only on agent *identities*
-   (never on states), so the engine samples it directly from the
-   birthday-process distribution: at each candidate interaction the ordered
-   pair of slots is "both fresh" with probability
-   ``(n-m)(n-m-1) / (n(n-1))`` where ``m`` agents are already touched.
-   By the birthday paradox a burst contains ``Θ(√n)`` interactions.
-2. **Bulk application.**  The states of the fresh agents are a uniform draw
-   *without replacement* from the configuration.  On the default *compiled*
-   path (see :mod:`repro.compile`) the configuration is an integer count
-   vector: the burst's agents are drawn as a multivariate-hypergeometric
-   composition of that vector, paired by a uniform shuffle, and every
-   distinct ordered pair type is applied once through the protocol's flat
-   transition table — with numpy, the whole burst is a handful of vectorized
-   array operations instead of a Python loop per interaction.  Without
-   numpy (or uncompiled), the engine keeps the agent pool as a flat list,
-   pops random entries in ``O(1)`` and aggregates drawn pairs into ordered
-   pair-type counts.
-3. **Collision correction.**  The burst ends with the first interaction that
-   re-uses an agent.  That interaction is applied *exactly*: the colliding
-   slot is resolved to a uniformly random already-touched agent (whose state
-   reflects the burst's updates), the other slot to a fresh draw from the
-   untouched agents, matching the conditional distribution of the sequential
-   process.
+- On the default *compiled* path (see :mod:`repro.compile`) with numpy
+  available and ``n >= NUMPY_BURST_THRESHOLD``, the engine delegates to the
+  position kernel of :mod:`repro.simulation.vector_kernel`: rounds of up to
+  ``DEFAULT_ROUND`` interactions are drawn as unbiased pair codes, applied
+  through the protocol's flat δ-table in a handful of vectorized array
+  operations, and positions drawn twice in a round are replayed in exact
+  sequential order.  The trajectory is a pure function of the engine's
+  numpy stream — independent of how the budget is split into rounds — which
+  is what lets the ``vector`` replicate engine
+  (:mod:`repro.simulation.vector_engine`) reproduce batch runs bit-for-bit
+  row by row.  The count vector is kept in sync per round from the kernel's
+  corrected pair codes.
+- Without numpy (or uncompiled, or at small ``n``), the engine falls back to
+  *bursts* in the spirit of Gillespie-style aggregation: interactions over
+  pairwise-distinct agents commute, the number of interactions until an
+  agent is re-drawn depends only on agent identities, so a maximal
+  collision-free burst is sampled directly from the birthday-process
+  distribution (``Θ(√n)`` interactions), its agents popped from a flat pool
+  in ``O(1)`` and applied per ordered pair type, and the burst-ending
+  collision interaction is applied exactly — matching the conditional
+  distribution of the sequential process.
 
-The induced Markov chain over configurations is therefore *identical* to
+The induced Markov chain over configurations is *identical* to
 :class:`ConfigurationSimulation`'s (and to the agent engine's under the
-uniform random scheduler) on every path; ``tests/simulation/test_batch_engine.py``
-checks the agreement distributionally and ``tests/integration/test_engine_agreement``
+uniform random scheduler) on every path — the kernel path reproduces the
+sequential process exactly, interaction by interaction;
+``tests/simulation/test_batch_engine.py`` checks the agreement
+distributionally and ``tests/integration/test_engine_agreement``
 checks that all engines settle in the configuration predicted by Lemma 3.6.
 Convergence checks are amortized per burst through the shared
 :meth:`~repro.simulation.base.SimulationEngine.run` loop, which makes
@@ -75,22 +72,20 @@ State = TypeVar("State", bound=Hashable)
 #: pool and the transition table).
 SEQUENTIAL_FALLBACK_THRESHOLD = 16
 
-#: Population size from which the vectorized counts-vector burst path beats
-#: the pool path: numpy call overhead is per burst, so it amortizes over the
-#: ``Θ(√n)`` burst length only once bursts are long enough (measured
+#: Population size from which the vectorized position-kernel path beats the
+#: pool path: numpy call overhead is per round, so it amortizes only once
+#: rounds are long relative to their chained-position fraction (measured
 #: crossover is near n = 4096 for Circles-sized tables).
 NUMPY_BURST_THRESHOLD = 4096
-
-#: Largest packed-pair-code space aggregated by direct ``bincount`` binning;
-#: bigger tables use a sort-based ``unique`` instead of allocating a d²
-#: histogram per burst.
-BINCOUNT_CODE_LIMIT = 16_384
 
 
 class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
     """Simulate the uniform random scheduler in exact batched bursts."""
 
     engine_name = "batch"
+    #: Batch trajectories are a pure function of the engine seed's streams,
+    #: so the vector replicate engine reproduces them bit-for-bit per row.
+    supports_replicates = True
 
     def __init__(
         self,
@@ -105,7 +100,7 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
         )
         self._transition_cache: dict[tuple[State, State], TransitionResult[State]] = {}
         self._neg_survival: list[float] | None = None
-        self._np_rng = None
+        self._kernel = None
         self._pool: list | None = None
         use_numpy = (
             self._compiled is not None
@@ -114,12 +109,20 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
             and self._compiled.numpy_tables() is not None
         )
         if use_numpy:
-            # Counts-vector representation: the burst machinery works on the
-            # vector directly, so no agent pool is materialized at all.
+            # Position-kernel representation: the kernel owns a (1 × n) state
+            # row and the engine keeps the count vector in sync per round, so
+            # no agent pool is materialized at all.
+            from repro.simulation.vector_kernel import PairCodeKernel
+
             self._counts = _np.array(self._counts, dtype=_np.int64)
-            self._np_rng = _np.random.default_rng(self._rng.getrandbits(63))
-            self._state_ids = _np.arange(self._compiled.num_states)
-            self._touched_counts = _np.zeros(self._compiled.num_states, dtype=_np.int64)
+            table_np, _, _ = self._compiled.numpy_tables()
+            self._kernel = PairCodeKernel(
+                table_np,
+                self._compiled.num_states,
+                self._num_agents,
+                [_np.random.default_rng(self._rng.getrandbits(63))],
+                self._counts,
+            )
         elif self._compiled is not None:
             #: Flat pool of encoded agent states; random pops are O(1).
             pool: list[int] = []
@@ -169,22 +172,6 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
             pool[index] = last
             return state
         return last
-
-    def _pop_weighted(self, counts, total: int) -> int:
-        """Draw (and remove) one encoded agent proportionally to ``counts``.
-
-        ``total`` is the caller-tracked sum of ``counts`` (the vectors are
-        small, but the collision step runs once per burst and tracking the
-        totals is cheaper than re-summing).
-        """
-        target = self._rng.randrange(total)
-        cumulative = 0
-        for code, count in enumerate(counts):
-            cumulative += count
-            if target < cumulative:
-                counts[code] -= 1
-                return code
-        raise RuntimeError("sampling failed: count vector is inconsistent")
 
     def _sample_burst_length(self, cap: int) -> tuple[int, tuple[bool, bool] | None]:
         """Sample how many interactions precede the burst's first collision.
@@ -238,119 +225,75 @@ class BatchConfigurationSimulation(ConfigurationEngine[State], Generic[State]):
     # -- stepping ------------------------------------------------------------------
 
     def run_burst(self, max_interactions: int | None = None) -> int:
-        """Execute one burst and return how many interactions it contained.
+        """Execute one batch of interactions and return how many it contained.
 
-        A burst is a maximal run of interactions over pairwise-distinct
-        agents, applied in bulk per ordered pair type, plus (when the cap
-        allows) the collision interaction that ends it.
+        On the position-kernel path that is one vectorized round of up to
+        :data:`~repro.simulation.vector_kernel.DEFAULT_ROUND` interactions,
+        exact in sequential order.  On the pool path it is a maximal run of
+        interactions over pairwise-distinct agents, applied in bulk per
+        ordered pair type, plus (when the cap allows) the collision
+        interaction that ends it.
         """
-        if self._np_rng is not None:
-            return self._run_burst_counts(max_interactions)
+        if self._kernel is not None:
+            return self._run_round_kernel(max_interactions)
         return self._run_burst_pool(max_interactions)
 
-    def _run_burst_counts(self, max_interactions: int | None) -> int:
-        """The numpy counts-vector burst: vectorized draw, pair, and apply."""
+    def _run_round_kernel(self, max_interactions: int | None) -> int:
+        """One vectorized round through the position kernel (exact, in order)."""
+        from repro.simulation.vector_kernel import DEFAULT_ROUND
+
         cap = self._num_agents if max_interactions is None else max_interactions
         if cap <= 0:
             return 0
-        length, collision = self._sample_burst_length(cap)
+        length = min(cap, DEFAULT_ROUND)
+        codes = self._kernel.advance((0,), length)[0]
+        self._book_round_codes(codes)
+        self.steps_taken += length
+        return length
+
+    def _book_round_codes(self, codes) -> None:
+        """Fold one round of corrected pair codes into counts and bookkeeping.
+
+        The count-vector delta telescopes exactly through chained positions —
+        each agent's successive pre-state equals its previous post-state — so
+        binning the changed interactions' pre and post codes reproduces the
+        kernel's state matrix on the count vector.
+        """
         compiled = self._compiled
         d = compiled.num_states
         table_np, changed_np, _ = compiled.numpy_tables()
-        counts = self._counts
-
-        # The burst's 2·length agents are a uniform draw without replacement
-        # from the configuration: exactly a multivariate-hypergeometric
-        # composition of the count vector.  A uniform shuffle of that
-        # composition then realizes the uniformly random ordered pairing.
-        composition = self._np_rng.multivariate_hypergeometric(counts, 2 * length)
-        counts -= composition
-        drawn = _np.repeat(self._state_ids, composition)
-        self._np_rng.shuffle(drawn)
-        codes = drawn[0::2] * d + drawn[1::2]
-        # Aggregate ordered pair types: direct binning over the d² code space
-        # beats a sort-based unique while the histogram stays small.
-        if d * d <= BINCOUNT_CODE_LIMIT:
-            pair_vector = _np.bincount(codes, minlength=d * d)
-            unique = _np.nonzero(pair_vector)[0]
-            pair_counts = pair_vector[unique]
-        else:
-            unique, pair_counts = _np.unique(codes, return_counts=True)
-        results = table_np[unique]
-        changed = changed_np[unique]
-        a_codes = results // d
-        b_codes = results % d
-
-        #: Post-transition states of the agents touched by this burst, as an
-        #: index-aligned count vector (they rejoin `counts` after the
-        #: collision correction).
-        touched = self._touched_counts
-        touched[:] = 0
-        _np.add.at(touched, a_codes, pair_counts)
-        _np.add.at(touched, b_codes, pair_counts)
-
+        packed = table_np[codes]
+        moved = codes[packed != codes]
+        if moved.size:
+            results = table_np[moved]
+            counts = self._counts
+            delta = _np.bincount(results // d, minlength=d)
+            delta += _np.bincount(results % d, minlength=d)
+            delta -= _np.bincount(moved // d, minlength=d)
+            delta -= _np.bincount(moved % d, minlength=d)
+            counts += delta
+            tracker = self._active_pairs
+            if tracker is not None:
+                # The round changed counts wholesale: diff the tracker's
+                # classification against the live vector in one vectorized
+                # pass and reclassify only the codes whose class actually
+                # moved (usually none on a near-quiescent run).
+                classes = _np.frombuffer(tracker.classes_view(), dtype=_np.uint8)
+                stale = _np.nonzero(_np.minimum(counts, 2) != classes)[0]
+                if stale.size:
+                    tracker.update_codes(stale.tolist())
+        changed_codes = codes[changed_np[codes]]
+        if not changed_codes.size:
+            return
         if not self._observers:
-            self.interactions_changed += int(pair_counts[changed].sum())
+            self.interactions_changed += int(changed_codes.size)
         else:
             # The observer contract wants one decoded delta per pair type.
-            for code, a, b, count, did_change in zip(
-                unique.tolist(),
-                a_codes.tolist(),
-                b_codes.tolist(),
-                pair_counts.tolist(),
-                changed.tolist(),
-            ):
-                if did_change:
-                    p, q = divmod(code, d)
-                    self._record_changed_codes(p, q, a, b, count)
-
-        executed = length
-        if collision is not None:
-            executed += self._collision_step_counts(touched, collision, length)
-        counts += touched
-        tracker = self._active_pairs
-        if tracker is not None:
-            # The burst changed counts wholesale: diff the tracker's
-            # classification against the live vector in one vectorized pass
-            # and reclassify only the codes whose class actually moved
-            # (usually none on a near-quiescent run).
-            classes = _np.frombuffer(tracker.classes_view(), dtype=_np.uint8)
-            moved = _np.nonzero(_np.minimum(counts, 2) != classes)[0]
-            if moved.size:
-                tracker.update_codes(moved.tolist())
-        self.steps_taken += executed
-        return executed
-
-    def _collision_step_counts(
-        self, touched, collision: tuple[bool, bool], length: int
-    ) -> int:
-        """Apply the burst-ending collision on the count-vector representation.
-
-        A touched slot resolves to a uniformly random already-touched agent
-        (drawn out of — and its result returned to — the ``touched`` vector);
-        a fresh slot to a uniform draw from the untouched agents remaining in
-        ``counts``.  Exactly the conditional distribution of the sequential
-        process given the sampled collision pattern.
-        """
-        initiator_touched, responder_touched = collision
-        touched_total = 2 * length
-        fresh_total = self._num_agents - touched_total
-        if initiator_touched:
-            initiator = self._pop_weighted(touched, touched_total)
-            touched_total -= 1
-        else:
-            initiator = self._pop_weighted(self._counts, fresh_total)
-            fresh_total -= 1
-        if responder_touched:
-            responder = self._pop_weighted(touched, touched_total)
-        else:
-            responder = self._pop_weighted(self._counts, fresh_total)
-        a, b, changed = self._compiled.transition_codes(initiator, responder)
-        if changed:
-            self._record_changed_codes(initiator, responder, a, b, 1)
-        touched[a] += 1
-        touched[b] += 1
-        return 1
+            unique, pair_counts = _np.unique(changed_codes, return_counts=True)
+            for code, count in zip(unique.tolist(), pair_counts.tolist()):
+                p, q = divmod(code, d)
+                a, b = divmod(int(table_np[code]), d)
+                self._record_changed_codes(p, q, a, b, count)
 
     def _run_burst_pool(self, max_interactions: int | None) -> int:
         """The pool burst: O(1) random pops, pair-type aggregation, bulk apply."""

@@ -46,6 +46,11 @@ from repro.core.state import CirclesState
 from repro.protocols.base import PopulationProtocol
 from repro.utils.multiset import Multiset
 
+try:  # numpy backs the row-wise tracker of the vector replicate engine only.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    _np = None
+
 State = TypeVar("State", bound=Hashable)
 
 
@@ -300,3 +305,55 @@ class ActivePairTracker:
     def is_silent(self) -> bool:
         """Whether the tracked configuration is silent (no active pair)."""
         return self.active_pairs == 0
+
+
+class RowwiseActivePairTracker:
+    """Row-wise silence verdicts over an ``(R × d)`` replicate count matrix.
+
+    The vector replicate engine checks all active rows at once, so instead of
+    one :class:`ActivePairTracker` per row it keeps the compiled ``changed``
+    bitmask as a symmetrized ``(d × d)`` matrix and answers every row's
+    silence question with one matrix product: row ``r`` is active iff some
+    present state can reach another present state through an active ordered
+    pair (either role — hence the symmetrization), or some plural state has
+    an active diagonal pair.  That is exactly
+    :meth:`ActivePairTracker.is_silent` on the row's counts.
+
+    The tracker is incremental at check granularity: it caches each row's
+    class vector (``min(count, 2)`` per code) and recomputes the verdict only
+    for rows whose classes moved since the last check — on a near-quiescent
+    run most rows idle at a fixed support and cost one vector comparison.
+    """
+
+    __slots__ = ("_offdiag", "_diag", "_classes", "_silent")
+
+    def __init__(self, compiled, num_rows: int) -> None:
+        if _np is None:  # pragma: no cover - the vector kernel path needs numpy anyway
+            raise RuntimeError("RowwiseActivePairTracker requires numpy")
+        d = compiled.num_states
+        changed = _np.frombuffer(compiled.changed, dtype=_np.uint8).reshape(d, d) != 0
+        self._diag = changed.diagonal().copy()
+        offdiag = changed.copy()
+        _np.fill_diagonal(offdiag, False)
+        self._offdiag = (offdiag | offdiag.T).astype(_np.int32)
+        self._classes = _np.full((num_rows, d), -1, dtype=_np.int8)
+        self._silent = _np.zeros(num_rows, dtype=bool)
+
+    def silent_rows(self, rows, counts):
+        """Silence verdicts for ``rows``, given their current count matrix.
+
+        ``counts`` is the ``(len(rows), d)`` count matrix of exactly those
+        rows; the returned boolean vector is aligned with ``rows``.
+        """
+        classes = _np.minimum(counts, 2).astype(_np.int8)
+        rows = _np.asarray(rows)
+        stale = _np.nonzero((classes != self._classes[rows]).any(axis=1))[0]
+        if stale.size:
+            sub = classes[stale]
+            present = sub > 0
+            hits = present.astype(_np.int32) @ self._offdiag
+            active = ((hits > 0) & present).any(axis=1)
+            active |= ((sub == 2) & self._diag).any(axis=1)
+            self._silent[rows[stale]] = ~active
+            self._classes[rows[stale]] = sub
+        return self._silent[rows]

@@ -12,9 +12,14 @@ sweeps) instead of through imports:
   exact sequential sampling from the configuration under the uniform random
   scheduler; ``O(d)`` per interaction.
 * ``"batch"`` — :class:`~repro.simulation.batch_engine.BatchConfigurationSimulation`:
-  the same chain as ``"configuration"`` but sampled in exact bursts of
-  ``Θ(√n)`` interactions; the fast path for large-population convergence
-  sweeps.
+  the same chain as ``"configuration"`` but sampled in exact vectorized
+  rounds (position kernel) or bursts; the fast path for large-population
+  convergence sweeps.
+* ``"vector"`` — :class:`~repro.simulation.vector_engine.VectorReplicateSimulation`:
+  the batch engine plus a many-replicate driver that advances ``R``
+  independent replicates of one compiled protocol in lockstep, each row
+  bit-identical to the looped batch engine under the same seed; the sweep
+  runner routes whole replicate groups through it.
 * ``"exact"`` — :class:`~repro.exact.engine.ExactMarkovEngine`: does not
   sample at all — it enumerates the reachable configuration space and
   *solves* the same Markov chain the other engines sample (absorption
@@ -39,6 +44,7 @@ from repro.simulation.base import SimulationEngine
 from repro.simulation.batch_engine import BatchConfigurationSimulation
 from repro.simulation.config_engine import ConfigurationSimulation
 from repro.simulation.engine import AgentSimulation
+from repro.simulation.vector_engine import VectorReplicateSimulation
 from repro.utils.errors import unknown_name_error
 
 #: Registry of engine name -> engine class.  The analytical ``"exact"``
@@ -49,6 +55,7 @@ ENGINES: dict[str, type[SimulationEngine]] = {
     AgentSimulation.engine_name: AgentSimulation,
     ConfigurationSimulation.engine_name: ConfigurationSimulation,
     BatchConfigurationSimulation.engine_name: BatchConfigurationSimulation,
+    VectorReplicateSimulation.engine_name: VectorReplicateSimulation,
 }
 
 

@@ -1,0 +1,246 @@
+"""The exact vectorized interaction kernel shared by the batch and vector engines.
+
+Simulating the uniform random scheduler one interaction at a time costs a
+Python-level loop per interaction; batching interactions naively changes which
+chain is sampled.  This module squares that circle with a *position kernel*
+that is sequential-equivalent by construction:
+
+1. **Positions, not states.**  Each interaction is drawn as a single unbiased
+   pair code ``q ~ U{0, .., n(n-1)-1}`` and decoded into an ordered pair of
+   distinct agent positions ``(i, r)`` — ``i = q // (n-1)``,
+   ``r = q - i(n-1)`` bumped past the diagonal.  Agent positions are mere
+   labels (the engines are configuration-level), but fixing positions makes
+   the trajectory a pure function of the row's uniform stream: it depends
+   neither on how many interactions are drawn per call
+   (``numpy.random.Generator.integers`` is call-split invariant) nor on how
+   many replicate rows advance together.  ``tests/simulation/test_vector_kernel``
+   pins both invariances.
+2. **Round application.**  A round of ``T`` interactions gathers the
+   pre-states of all drawn positions at once, applies the compiled δ-table to
+   every interaction in one shot, and scatters the post-states back — NumPy
+   fancy assignment applies duplicate indices in order, so the last write
+   wins, which is exactly the final state of a position touched repeatedly.
+3. **Chain resolution.**  Positions drawn more than once inside a round form
+   dependency chains: a later interaction must see the *post*-state of the
+   earlier one, not the stale gathered value.  The kernel detects the chained
+   slots (an ``O(T/n)`` expected fraction at the engines' ``n >= 4096`` gate),
+   reconstructs each position's occurrence order, and replays the affected
+   interactions with a vectorized fixpoint iteration that resolves every
+   interaction whose two input states are known and propagates the fresh
+   post-states to the successors — reproducing the sequential order exactly.
+
+Because a row's trajectory depends only on the row's own generator stream,
+row ``r`` of an ``R``-row kernel is bit-identical to a single-row kernel
+seeded the same way — the property the replicate-group routing in
+:mod:`repro.api.executor` relies on for record-identical sweep results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+#: Interactions simulated per vectorized round: long enough to amortize the
+#: kernel's fixed per-call overhead, short enough that chained positions stay
+#: sparse and the per-round working set stays cache-resident.
+DEFAULT_ROUND = 2048
+
+#: Replicate rows advanced per kernel invocation; bounds the scratch buffer
+#: (``BLOCK_ROWS * n`` int64 slots) independently of the replicate count.
+BLOCK_ROWS = 32
+
+
+class PairCodeKernel:
+    """``R`` replicate rows of one compiled protocol, advanced in exact rounds.
+
+    Every row starts from the same configuration (``initial_counts``) and owns
+    one ``numpy.random.Generator``; the kernel holds the ``(R, n)`` per-agent
+    state matrix and the split transition tables.  Rows advance independently
+    — :meth:`advance` takes an explicit row subset, so converged rows simply
+    stop being passed in.
+    """
+
+    __slots__ = ("num_agents", "num_states", "_ta", "_tb", "_states", "_generators", "_scratch")
+
+    def __init__(
+        self,
+        table,
+        num_states: int,
+        num_agents: int,
+        generators: Sequence[np.random.Generator],
+        initial_counts,
+    ) -> None:
+        d = int(num_states)
+        n = int(num_agents)
+        packed = np.asarray(table, dtype=np.int64)
+        self._ta = (packed // d).astype(np.int16)
+        self._tb = (packed % d).astype(np.int16)
+        self.num_states = d
+        self.num_agents = n
+        self._generators = list(generators)
+        counts = np.asarray(initial_counts, dtype=np.int64)
+        if int(counts.sum()) != n:
+            raise ValueError(f"initial counts sum to {int(counts.sum())}, expected {n} agents")
+        base_row = np.repeat(np.arange(d, dtype=np.int16), counts)
+        self._states = np.tile(base_row, (len(self._generators), 1))
+        self._scratch = np.zeros(min(len(self._generators), BLOCK_ROWS) * n, dtype=np.int64)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._generators)
+
+    def row_counts(self, row: int) -> np.ndarray:
+        """The row's current configuration as a length-``d`` count vector."""
+        return np.bincount(self._states[row], minlength=self.num_states).astype(np.int64)
+
+    def counts_matrix(self, rows: Sequence[int]) -> np.ndarray:
+        """Count vectors for ``rows`` stacked into a ``(len(rows), d)`` matrix."""
+        out = np.empty((len(rows), self.num_states), dtype=np.int64)
+        for j, row in enumerate(rows):
+            out[j] = np.bincount(self._states[row], minlength=self.num_states)
+        return out
+
+    def advance(self, rows: Sequence[int], length: int) -> np.ndarray:
+        """Advance every row in ``rows`` by ``length`` interactions.
+
+        Returns the ``(len(rows), length)`` int32 matrix of each interaction's
+        *corrected* pre-transition pair code ``p·d + q`` — the ordered states
+        the sequential process would have seen — in time order, which is what
+        the engines need for changed/count/observer bookkeeping.
+        """
+        rows = list(rows)
+        codes = np.empty((len(rows), length), dtype=np.int32)
+        for start in range(0, len(rows), BLOCK_ROWS):
+            block = rows[start : start + BLOCK_ROWS]
+            codes[start : start + len(block)] = self._advance_block(block, length)
+        return codes
+
+    def _advance_block(self, rows: list[int], length: int) -> np.ndarray:
+        n = self.num_agents
+        d = self.num_states
+        nb = len(rows)
+        contiguous = rows == list(range(rows[0], rows[0] + nb))
+        sblock = self._states[rows[0] : rows[0] + nb] if contiguous else self._states[rows]
+        sflat = sblock.reshape(-1)
+
+        # One pair code per interaction, decoded to ordered distinct positions
+        # and offset into the block-flat state vector.  Interleaving initiator
+        # and responder slots keeps the flat slot index in time order.
+        two_t = 2 * length
+        positions = np.empty((nb, two_t), dtype=np.int64)
+        init_pos = positions[:, 0::2]
+        resp_pos = positions[:, 1::2]
+        span = n * (n - 1)
+        for j, row in enumerate(rows):
+            q = self._generators[row].integers(0, span, length, dtype=np.int64)
+            i = q // (n - 1)
+            r = q - i * (n - 1)
+            r += r >= i
+            base = j * n
+            init_pos[j] = i
+            init_pos[j] += base
+            resp_pos[j] = r
+            resp_pos[j] += base
+        fp = positions.reshape(-1)
+
+        pre = np.take(sflat, fp)
+        # Last-occurrence detection: scatter each slot id to its position
+        # (duplicates resolve last-write-wins), gather back, and a slot that
+        # does not read its own id has a later occurrence.  Stale scratch
+        # entries are never read — every gathered position was just written.
+        scratch = self._scratch[: nb * n]
+        slots = np.arange(nb * two_t, dtype=np.int64)
+        scratch[fp] = slots
+        last = np.take(scratch, fp)
+        codes = pre[0::2].astype(np.int32) * d + pre[1::2]
+        post = np.empty_like(pre)
+        post[0::2] = np.take(self._ta, codes)
+        post[1::2] = np.take(self._tb, codes)
+        nonlast = np.nonzero(last != slots)[0]
+        if nonlast.size:
+            self._resolve_chains(fp, pre, post, codes, nonlast, last)
+        sflat[fp] = post
+        if not contiguous:
+            self._states[rows] = sblock
+        return codes.reshape(nb, length)
+
+    def _resolve_chains(self, fp, pre, post, codes, nonlast, last) -> None:
+        """Replay the round's chained interactions in exact sequential order.
+
+        ``nonlast`` holds every slot whose position recurs later in the round;
+        adding the final occurrences (``last[nonlast]``) yields all chain
+        slots.  A chain slot's true pre-state is its predecessor's post-state,
+        which may itself be chained, so the fixpoint loop resolves — per
+        iteration — every chained interaction whose two input states are
+        known, then propagates the fresh post-states down the chains.  The
+        earliest unresolved interaction always becomes resolvable, so the loop
+        terminates within chain-depth iterations.  ``pre``, ``post`` and
+        ``codes`` are corrected in place.
+        """
+        d = self.num_states
+        chain_slots = np.unique(np.concatenate([nonlast, last[nonlast]]))
+        chain_pos = fp[chain_slots]
+        # Reconstruct occurrence order per position: sort by (position, slot)
+        # and link consecutive entries sharing a position.
+        order = np.lexsort((chain_slots, chain_pos))
+        by_pos_slots = chain_slots[order]
+        by_pos = chain_pos[order]
+        prev = np.full(len(by_pos_slots), -1, dtype=np.int64)
+        linked = np.nonzero(by_pos[1:] == by_pos[:-1])[0]
+        prev[linked + 1] = by_pos_slots[linked]
+        back = np.argsort(by_pos_slots, kind="stable")
+        cs = by_pos_slots[back]  # chain slots, ascending
+        cprev = prev[back]  # predecessor slot per chain slot, -1 for the first
+
+        inter = np.unique(cs >> 1)  # the interactions that touch a chain slot
+        sa = inter << 1
+        sb = sa + 1
+        limit = len(cs) - 1
+        ia = np.searchsorted(cs, sa)
+        ib = np.searchsorted(cs, sb)
+        in_a = (ia < len(cs)) & (cs[np.minimum(ia, limit)] == sa)
+        in_b = (ib < len(cs)) & (cs[np.minimum(ib, limit)] == sb)
+        ia = np.where(in_a, ia, -1)
+        ib = np.where(in_b, ib, -1)
+
+        slot_known = cprev < 0  # first occurrences keep their gathered pre
+        slot_pre = pre[cs].astype(np.int32)
+        slot_post = np.full(len(cs), -1, dtype=np.int32)
+        pred_index = np.where(cprev >= 0, np.searchsorted(cs, np.maximum(cprev, 0)), -1)
+        a_val = np.where(ia >= 0, slot_pre[np.maximum(ia, 0)], pre[sa].astype(np.int32))
+        b_val = np.where(ib >= 0, slot_pre[np.maximum(ib, 0)], pre[sb].astype(np.int32))
+        a_known = np.where(ia >= 0, slot_known[np.maximum(ia, 0)], True)
+        b_known = np.where(ib >= 0, slot_known[np.maximum(ib, 0)], True)
+        done = np.zeros(len(inter), dtype=bool)
+        while not done.all():
+            ready = ~done & a_known & b_known
+            if not ready.any():
+                raise RuntimeError("chain resolution stalled: no resolvable interaction")
+            idx = np.nonzero(ready)[0]
+            av = a_val[idx]
+            bv = b_val[idx]
+            cc = av * d + bv
+            pa = np.take(self._ta, cc).astype(np.int32)
+            pb = np.take(self._tb, cc).astype(np.int32)
+            post[sa[idx]] = pa
+            post[sb[idx]] = pb
+            pre[sa[idx]] = av
+            pre[sb[idx]] = bv
+            codes[inter[idx]] = cc
+            hit = ia[idx] >= 0
+            slot_post[ia[idx][hit]] = pa[hit]
+            hit = ib[idx] >= 0
+            slot_post[ib[idx][hit]] = pb[hit]
+            done[idx] = True
+            unknown = np.nonzero(~slot_known)[0]
+            if unknown.size:
+                filled = slot_post[pred_index[unknown]] >= 0
+                grew = unknown[filled]
+                if grew.size:
+                    slot_pre[grew] = slot_post[pred_index[grew]]
+                    slot_known[grew] = True
+                    a_known = np.where(ia >= 0, slot_known[np.maximum(ia, 0)], True)
+                    b_known = np.where(ib >= 0, slot_known[np.maximum(ib, 0)], True)
+                    a_val = np.where(ia >= 0, slot_pre[np.maximum(ia, 0)], a_val)
+                    b_val = np.where(ib >= 0, slot_pre[np.maximum(ib, 0)], b_val)

@@ -1,0 +1,45 @@
+"""Append-only JSON perf log with atomic writes.
+
+``BENCH_results.json`` tracks the performance trajectory across PRs: every
+``--perf`` benchmark run appends one timing entry.  The log is a single JSON
+array, so appending is a read-modify-write — and a plain ``write_text`` in
+the middle of that cycle, interrupted by a kill, destroys the *entire
+history*, not just the new entry.  :func:`append_perf_entry` closes that
+window with :func:`~repro.utils.atomic.atomic_write_text`: readers (and the
+next appender) only ever observe the previous complete log or the new one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.utils.atomic import atomic_write_text
+
+
+def load_perf_log(path: str | Path) -> list[dict[str, Any]]:
+    """The perf entries recorded at ``path``; ``[]`` when the log is absent.
+
+    A log that fails to parse raises — a corrupt history should stop the
+    run loudly, not be silently truncated to ``[]`` and overwritten.
+    """
+    target = Path(path)
+    if not target.exists():
+        return []
+    entries = json.loads(target.read_text(encoding="utf-8"))
+    if not isinstance(entries, list):
+        raise ValueError(f"perf log {target} must hold a JSON array, got {type(entries).__name__}")
+    return entries
+
+
+def append_perf_entry(path: str | Path, entry: dict[str, Any]) -> list[dict[str, Any]]:
+    """Append one entry to the JSON-array log at ``path``, atomically.
+
+    Returns the full history including the new entry.  The write is
+    temp-then-rename, so a crash mid-append leaves the previous log intact.
+    """
+    history = load_perf_log(path)
+    history.append(entry)
+    atomic_write_text(path, json.dumps(history, indent=2) + "\n")
+    return history

@@ -30,6 +30,14 @@ class TestRunSpec:
         with pytest.raises(ValueError):
             RunSpec(protocol="circles", n=10, k=0)
 
+    def test_negative_max_steps_rejected_up_front(self):
+        """Regression: a negative budget used to pass spec validation and
+        only blow up (or silently no-op) deep inside engine dispatch."""
+        with pytest.raises(ValueError, match="max_steps must be a non-negative"):
+            RunSpec(protocol="circles", n=10, k=3, max_steps=-1)
+        assert RunSpec(protocol="circles", n=10, k=3, max_steps=0).max_steps == 0
+        assert RunSpec(protocol="circles", n=10, k=3, max_steps=None).max_steps is None
+
     def test_workload_seed_defaults_to_run_seed(self):
         spec = RunSpec(protocol="circles", n=10, k=3, seed=42)
         assert spec.effective_workload_seed == 42
@@ -116,6 +124,14 @@ class TestSweepSpecExpansion:
             SweepSpec(protocols=(), populations=(8,), ks=(2,))
         with pytest.raises(ValueError):
             SweepSpec(protocols=("circles",), populations=(8,), ks=(2,), trials=0)
+
+    def test_negative_budgets_rejected_up_front(self):
+        with pytest.raises(ValueError, match="max_steps must be a non-negative"):
+            SweepSpec(protocols=("circles",), populations=(8,), ks=(2,), max_steps=-5)
+        with pytest.raises(ValueError, match="max_steps_quadratic must be a non-negative"):
+            SweepSpec(
+                protocols=("circles",), populations=(8,), ks=(2,), max_steps_quadratic=-1
+            )
 
     def test_json_round_trip_preserves_expansion(self):
         sweep = SweepSpec(

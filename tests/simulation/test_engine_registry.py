@@ -9,6 +9,7 @@ from repro.simulation import (
     ConfigurationSimulation,
     ExactMarkovEngine,
     SimulationEngine,
+    VectorReplicateSimulation,
     available_engines,
     default_check_interval,
     get_engine,
@@ -20,14 +21,15 @@ from repro.simulation.convergence import OutputConsensus
 
 class TestRegistry:
     def test_known_names(self):
-        assert available_engines() == ("agent", "batch", "configuration", "exact")
+        assert available_engines() == ("agent", "batch", "configuration", "exact", "vector")
         assert get_engine("agent") is AgentSimulation
         assert get_engine("configuration") is ConfigurationSimulation
         assert get_engine("batch") is BatchConfigurationSimulation
         assert get_engine("exact") is ExactMarkovEngine
+        assert get_engine("vector") is VectorReplicateSimulation
 
     def test_stochastic_engines_excludes_the_analytical_one(self):
-        assert stochastic_engines() == ("agent", "batch", "configuration")
+        assert stochastic_engines() == ("agent", "batch", "configuration", "vector")
         assert not ExactMarkovEngine.samples_trajectories
         assert all(ENGINES[name].samples_trajectories for name in stochastic_engines())
 
@@ -37,7 +39,7 @@ class TestRegistry:
             assert issubclass(engine_cls, SimulationEngine)
 
     def test_unknown_name_lists_available_engines(self):
-        with pytest.raises(KeyError, match="agent, batch, configuration, exact"):
+        with pytest.raises(KeyError, match="agent, batch, configuration, exact, vector"):
             get_engine("warp-drive")
 
 
@@ -47,7 +49,7 @@ class TestDefaultCheckInterval:
         assert default_check_interval(1) == 1
         assert default_check_interval(0) == 1
 
-    @pytest.mark.parametrize("name", ["agent", "configuration", "batch"])
+    @pytest.mark.parametrize("name", ["agent", "configuration", "batch", "vector"])
     def test_every_engine_shares_the_policy(self, name):
         """All engines detect convergence within one parallel-time unit.
 
@@ -64,14 +66,14 @@ class TestDefaultCheckInterval:
         assert simulation.run(10_000, criterion=OutputConsensus())
         assert simulation.steps_taken == 0
 
-    @pytest.mark.parametrize("name", ["agent", "configuration", "batch"])
+    @pytest.mark.parametrize("name", ["agent", "configuration", "batch", "vector"])
     def test_negative_check_interval_rejected(self, name):
         """Regression: a negative interval used to spin the run loop forever."""
         simulation = get_engine(name).from_colors(CirclesProtocol(2), [0, 0, 1], seed=1)
         with pytest.raises(ValueError, match="check_interval"):
             simulation.run(100, criterion=OutputConsensus(), check_interval=-1)
 
-    @pytest.mark.parametrize("name", ["agent", "configuration", "batch"])
+    @pytest.mark.parametrize("name", ["agent", "configuration", "batch", "vector"])
     def test_every_engine_supports_the_observer_hook(self, name):
         observed = 0
 

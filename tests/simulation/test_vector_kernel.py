@@ -1,0 +1,150 @@
+"""PairCodeKernel: sequential-equivalence and the invariances it relies on.
+
+The kernel's whole claim is that a vectorized round reproduces the sequential
+uniform-random-scheduler process *exactly* — same trajectory, same corrected
+pre-states, regardless of how many interactions are drawn per call or how
+many replicate rows advance together.  This module tests that claim against
+an interaction-at-a-time reference implementation and pins the two numpy
+behaviors the construction leans on (fancy-assignment write order and
+``Generator.integers`` call-split invariance).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy", reason="the position kernel is numpy-only")
+
+from repro.simulation.vector_kernel import BLOCK_ROWS, PairCodeKernel  # noqa: E402
+
+
+def mixing_table(d: int) -> np.ndarray:
+    """A dense deterministic toy δ-table that keeps all ``d`` states in play."""
+    table = np.empty(d * d, dtype=np.int64)
+    for a in range(d):
+        for b in range(d):
+            table[a * d + b] = ((a + b) % d) * d + (a * b + 1) % d
+    return table
+
+
+def make_kernel(d: int, n: int, seeds, table: np.ndarray | None = None) -> PairCodeKernel:
+    table = mixing_table(d) if table is None else table
+    counts = np.full(d, n // d, dtype=np.int64)
+    counts[0] += n - int(counts.sum())
+    generators = [np.random.default_rng(seed) for seed in seeds]
+    return PairCodeKernel(table, d, n, generators, counts)
+
+
+def sequential_reference(d: int, n: int, seed: int, length: int, table: np.ndarray):
+    """One interaction at a time, straight from the definition."""
+    counts = np.full(d, n // d, dtype=np.int64)
+    counts[0] += n - int(counts.sum())
+    states = np.repeat(np.arange(d, dtype=np.int64), counts)
+    gen = np.random.default_rng(seed)
+    codes = np.empty(length, dtype=np.int64)
+    q = gen.integers(0, n * (n - 1), length, dtype=np.int64)
+    for t in range(length):
+        i = int(q[t]) // (n - 1)
+        r = int(q[t]) - i * (n - 1)
+        if r >= i:
+            r += 1
+        code = states[i] * d + states[r]
+        codes[t] = code
+        packed = int(table[code])
+        states[i] = packed // d
+        states[r] = packed % d
+    return states, codes
+
+
+class TestNumpyBehaviorPins:
+    """The two numpy contracts the kernel's correctness rests on."""
+
+    def test_fancy_assignment_is_last_write_wins(self):
+        out = np.zeros(3, dtype=np.int64)
+        out[np.array([0, 2, 0, 0])] = np.array([1, 5, 2, 3])
+        assert out.tolist() == [3, 0, 5]
+
+    def test_generator_integers_is_call_split_invariant(self):
+        whole = np.random.default_rng(99).integers(0, 10**9, 256, dtype=np.int64)
+        gen = np.random.default_rng(99)
+        parts = [gen.integers(0, 10**9, size, dtype=np.int64) for size in (1, 100, 155)]
+        assert np.array_equal(whole, np.concatenate(parts))
+
+
+class TestSequentialEquivalence:
+    @pytest.mark.parametrize("n,length", [(16, 512), (64, 256), (256, 2048)])
+    def test_matches_interaction_at_a_time_reference(self, n, length):
+        """Small n + long rounds force dense position chains — the hard case."""
+        d = 5
+        table = mixing_table(d)
+        kernel = make_kernel(d, n, seeds=[7], table=table)
+        codes = kernel.advance([0], length)[0]
+        ref_states, ref_codes = sequential_reference(d, n, 7, length, table)
+        assert np.array_equal(codes, ref_codes)
+        assert np.array_equal(
+            kernel.row_counts(0), np.bincount(ref_states, minlength=d)
+        )
+
+    def test_round_size_invariance(self):
+        """The trajectory must not depend on how interactions are batched."""
+        d, n, total = 4, 32, 1024
+        whole = make_kernel(d, n, seeds=[3])
+        codes_whole = whole.advance([0], total)[0]
+        split = make_kernel(d, n, seeds=[3])
+        pieces = [split.advance([0], size)[0] for size in (1, 255, 256, 512)]
+        assert np.array_equal(codes_whole, np.concatenate(pieces))
+        assert np.array_equal(whole.row_counts(0), split.row_counts(0))
+
+    def test_row_count_invariance(self):
+        """Row ``r`` of an R-row kernel equals a 1-row kernel with its seed."""
+        d, n, length = 4, 48, 768
+        seeds = [11, 22, 33, 44, 55]
+        many = make_kernel(d, n, seeds=seeds)
+        codes_many = many.advance(range(len(seeds)), length)
+        for row, seed in enumerate(seeds):
+            solo = make_kernel(d, n, seeds=[seed])
+            assert np.array_equal(solo.advance([0], length)[0], codes_many[row])
+            assert np.array_equal(solo.row_counts(0), many.row_counts(row))
+
+    def test_non_contiguous_row_subsets(self):
+        """Retired rows stay frozen; active rows advance as if alone."""
+        d, n, length = 4, 32, 256
+        seeds = [1, 2, 3, 4]
+        kernel = make_kernel(d, n, seeds=seeds)
+        before_frozen = [kernel.row_counts(row).copy() for row in (1, 3)]
+        kernel.advance([0, 2], length)
+        assert np.array_equal(kernel.row_counts(1), before_frozen[0])
+        assert np.array_equal(kernel.row_counts(3), before_frozen[1])
+        for row, seed in ((0, 1), (2, 3)):
+            solo = make_kernel(d, n, seeds=[seed])
+            solo.advance([0], length)
+            assert np.array_equal(solo.row_counts(0), kernel.row_counts(row))
+
+    def test_more_rows_than_block_size(self):
+        """Advancing crosses block boundaries without mixing row streams."""
+        d, n, length = 3, 16, 128
+        seeds = list(range(BLOCK_ROWS + 3))
+        kernel = make_kernel(d, n, seeds=seeds)
+        codes = kernel.advance(range(len(seeds)), length)
+        for row in (0, BLOCK_ROWS - 1, BLOCK_ROWS, BLOCK_ROWS + 2):
+            solo = make_kernel(d, n, seeds=[seeds[row]])
+            assert np.array_equal(solo.advance([0], length)[0], codes[row])
+
+
+class TestBookkeeping:
+    def test_population_is_conserved(self):
+        kernel = make_kernel(4, 40, seeds=[8, 9])
+        kernel.advance([0, 1], 500)
+        matrix = kernel.counts_matrix([0, 1])
+        assert matrix.sum(axis=1).tolist() == [40, 40]
+
+    def test_counts_matrix_matches_row_counts(self):
+        kernel = make_kernel(4, 40, seeds=[8, 9, 10])
+        kernel.advance([0, 1, 2], 300)
+        matrix = kernel.counts_matrix([2, 0])
+        assert np.array_equal(matrix[0], kernel.row_counts(2))
+        assert np.array_equal(matrix[1], kernel.row_counts(0))
+
+    def test_rejects_wrong_population_size(self):
+        with pytest.raises(ValueError, match="expected 10 agents"):
+            PairCodeKernel(
+                mixing_table(3), 3, 10, [np.random.default_rng(0)], np.array([3, 3, 3])
+            )

@@ -1,0 +1,71 @@
+"""perflog: atomic append semantics for the BENCH_results.json history.
+
+The regression of interest: the perf log is a single JSON array, so every
+append is a read-modify-write of the whole history — an interrupted plain
+``write_text`` used to be able to truncate the accumulated log.  The append
+must go through the temp-then-rename path so a crash at any point leaves
+either the old complete history or the new one.
+"""
+
+import json
+
+import pytest
+
+from repro.utils.perflog import append_perf_entry, load_perf_log
+
+
+class TestLoadPerfLog:
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_perf_log(tmp_path / "BENCH_results.json") == []
+
+    def test_round_trips_entries(self, tmp_path):
+        path = tmp_path / "log.json"
+        append_perf_entry(path, {"bench": "a", "seconds": 1.0})
+        append_perf_entry(path, {"bench": "b", "seconds": 2.0})
+        assert [entry["bench"] for entry in load_perf_log(path)] == ["a", "b"]
+
+    def test_corrupt_history_raises_instead_of_truncating(self, tmp_path):
+        path = tmp_path / "log.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_perf_log(path)
+        with pytest.raises(json.JSONDecodeError):
+            append_perf_entry(path, {"bench": "a"})
+        assert path.read_text() == "{not json"
+
+    def test_non_array_history_raises(self, tmp_path):
+        path = tmp_path / "log.json"
+        path.write_text('{"bench": "a"}')
+        with pytest.raises(ValueError, match="JSON array"):
+            load_perf_log(path)
+
+
+class TestAppendPerfEntry:
+    def test_appends_and_preserves_existing_entries(self, tmp_path):
+        path = tmp_path / "log.json"
+        path.write_text(json.dumps([{"bench": "seed"}]))
+        history = append_perf_entry(path, {"bench": "new"})
+        assert [entry["bench"] for entry in history] == ["seed", "new"]
+        assert json.loads(path.read_text()) == history
+
+    def test_interrupted_append_leaves_history_intact(self, tmp_path, monkeypatch):
+        """A crash during the rename must not lose the accumulated log."""
+        path = tmp_path / "log.json"
+        append_perf_entry(path, {"bench": "precious"})
+        before = path.read_text()
+
+        import repro.utils.atomic as atomic
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash mid-append")
+
+        monkeypatch.setattr(atomic.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            append_perf_entry(path, {"bench": "lost"})
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["log.json"]
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "log.json"
+        append_perf_entry(path, {"bench": "a"})
+        assert [p.name for p in tmp_path.iterdir()] == ["log.json"]
