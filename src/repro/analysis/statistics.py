@@ -87,6 +87,36 @@ def confidence_interval(
     return (center - half_width, center + half_width)
 
 
+def wilson_interval(
+    successes: float, count: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """The Wilson score interval for a Bernoulli proportion.
+
+    The normal-approximation interval of :func:`confidence_interval`
+    degenerates to a zero-width interval at ``p̂ ∈ {0, 1}`` (the sample
+    variance is zero even though the parameter is uncertain), which is
+    exactly the regime adaptive sweeps live in: a cell whose first trials
+    are all correct.  The Wilson interval stays honestly open there —
+    ``wilson_interval(n, n)`` has a strictly positive half-width that
+    shrinks as ``z²/(2(n + z²))`` — and never leaves ``[0, 1]``.
+    """
+    if count < 1:
+        raise ValueError(f"a proportion needs at least one observation, got count={count}")
+    if not 0 <= successes <= count:
+        raise ValueError(f"successes must lie in [0, {count}], got {successes}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly between 0 and 1")
+    z = _probit(0.5 + confidence / 2)
+    p_hat = float(successes) / count
+    z2 = z * z
+    denominator = 1.0 + z2 / count
+    center = (p_hat + z2 / (2 * count)) / denominator
+    margin = (
+        z * math.sqrt(p_hat * (1.0 - p_hat) / count + z2 / (4.0 * count * count)) / denominator
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
 def _probit(p: float) -> float:
     """Acklam's rational approximation of the standard normal quantile."""
     if not 0.0 < p < 1.0:
@@ -119,7 +149,7 @@ def _probit(p: float) -> float:
 
 @dataclass(frozen=True)
 class SummaryStats:
-    """Mean, spread and quantiles of a sample."""
+    """Mean, spread, quantiles and a confidence interval of a sample."""
 
     count: int
     mean: float
@@ -128,15 +158,44 @@ class SummaryStats:
     maximum: float
     median: float
     p90: float
+    #: Confidence interval for the mean — Wilson score for proportion
+    #: samples, normal approximation otherwise (``None`` on pre-existing
+    #: instances built without the fields).
+    ci_low: float | None = None
+    ci_high: float | None = None
+
+    @property
+    def half_width(self) -> float | None:
+        """Half the confidence-interval width (``None`` without an interval)."""
+        if self.ci_low is None or self.ci_high is None:
+            return None
+        return (self.ci_high - self.ci_low) / 2.0
 
     def as_row(self) -> tuple[float, ...]:
         """A row for tabular reports."""
         return (self.count, self.mean, self.std, self.minimum, self.median, self.p90, self.maximum)
 
 
-def summarize(values: Sequence[float]) -> SummaryStats:
-    """Compute :class:`SummaryStats` for a non-empty sample."""
+def summarize(
+    values: Sequence[float], *, proportion: bool = False, confidence: float = 0.95
+) -> SummaryStats:
+    """Compute :class:`SummaryStats` for a non-empty sample.
+
+    With ``proportion=True`` the sample must be Bernoulli (every value 0 or
+    1) and the confidence interval is the Wilson score interval — the one
+    that stays informative at ``p̂ ∈ {0, 1}``.  Otherwise the interval is
+    the normal approximation of :func:`confidence_interval`, including its
+    zero-variance short-circuit to a degenerate ``(mean, mean)`` interval.
+    """
     values = [float(value) for value in values]
+    if proportion:
+        if any(value not in (0.0, 1.0) for value in values):
+            raise ValueError(
+                "proportion=True expects a Bernoulli sample (every value 0 or 1)"
+            )
+        ci_low, ci_high = wilson_interval(sum(values), len(values), confidence)
+    else:
+        ci_low, ci_high = confidence_interval(values, confidence)
     return SummaryStats(
         count=len(values),
         mean=mean(values),
@@ -145,4 +204,6 @@ def summarize(values: Sequence[float]) -> SummaryStats:
         maximum=max(values),
         median=quantile(values, 0.5),
         p90=quantile(values, 0.9),
+        ci_low=ci_low,
+        ci_high=ci_high,
     )

@@ -47,6 +47,7 @@ from repro.api.executor import (
     build_criterion,
     build_executor,
     build_scheduler,
+    exact_anchor_value,
     execute_run,
     get_runner,
     register_executor,
@@ -55,11 +56,17 @@ from repro.api.executor import (
     run_sweep,
 )
 from repro.api.records import RunRecord, SweepResult
-from repro.api.spec import RunSpec, SweepSpec, canonical_json, derive_seed, sha_of
+from repro.api.spec import RunSpec, SweepCell, SweepSpec, canonical_json, derive_seed, sha_of
+from repro.api.stopping import STOP_REASONS, StopDecision, StoppingRule
 
 __all__ = [
     "RunSpec",
+    "SweepCell",
     "SweepSpec",
+    "StoppingRule",
+    "StopDecision",
+    "STOP_REASONS",
+    "exact_anchor_value",
     "RunRecord",
     "SweepResult",
     "SweepRunner",

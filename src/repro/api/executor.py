@@ -35,8 +35,10 @@ from __future__ import annotations
 import multiprocessing
 from collections.abc import Callable, Iterator, Sequence
 
+from repro.api import aggregate as _aggregate
 from repro.api.records import RunRecord, SweepResult
-from repro.api.spec import RunSpec, SweepSpec, canonical_json, derive_seed
+from repro.api.spec import RunSpec, SweepCell, SweepSpec, canonical_json, derive_seed
+from repro.api.stopping import StopDecision, StoppingRule
 from repro.core.circles import CirclesProtocol
 from repro.core.potential import configuration_energy, state_weights
 from repro.protocols.base import PopulationProtocol
@@ -241,6 +243,69 @@ def execute_run(spec: RunSpec) -> RunRecord:
     so it can run in any process in any order.
     """
     return get_runner(spec.runner)(spec)
+
+
+# --------------------------------------------------------------------------- #
+# exact anchors for adaptive stopping
+# --------------------------------------------------------------------------- #
+
+#: Configuration-space cap for stopping-rule anchors: bounds the BFS the
+#: anchor solve may attempt per cell, so an anchor lookup on a large
+#: population degrades to "no anchor" quickly instead of enumerating for
+#: minutes (mirrors E6's cap for its exact column).
+EXACT_ANCHOR_MAX_CONFIGURATIONS = 4_000
+
+
+def exact_anchor_value(spec: RunSpec, metric: str) -> float | None:
+    """The exact engine's analytical value of ``metric`` for ``spec``'s cell.
+
+    The anchor a :class:`~repro.api.stopping.StoppingRule` with
+    ``exact_anchor=True`` compares its empirical confidence interval against:
+    the correctness probability for ``metric="correct"``, the expected
+    interactions to convergence for ``metric="steps"`` — both computed on the
+    cell's exact workload colors under the uniform-random-scheduler Markov
+    chain (:mod:`repro.exact`).
+
+    Returns ``None`` — "no anchor; stop on the half-width rule alone" —
+    whenever the analytical value does not exist or does not describe what
+    the empirical runs sample: other metrics, custom runners, non-uniform
+    schedulers, inputs without a unique majority, criteria not almost surely
+    reached, and chains past the exact-analysis caps.
+    """
+    if metric not in ("correct", "steps"):
+        return None
+    if spec.runner != "protocol" or spec.scheduler not in (None, "uniform-random"):
+        return None
+    from repro.exact import (
+        ChainTooLarge,
+        SolveTooLarge,
+        exact_correctness_probability,
+        exact_expected_convergence,
+    )
+    from repro.exact.solve import practical_max_transient
+
+    colors = resolve_workload(spec)
+    protocol = get_protocol(spec.protocol, spec.k, **dict(spec.protocol_params))
+    try:
+        if metric == "correct":
+            return exact_correctness_probability(
+                protocol, colors, max_configurations=EXACT_ANCHOR_MAX_CONFIGURATIONS
+            )
+        if spec.criterion is not None:
+            criterion: ConvergenceCriterion = build_criterion(spec.criterion)
+        elif spec.protocol == "circles":
+            criterion = StableCircles()
+        else:
+            criterion = OutputConsensus()
+        return exact_expected_convergence(
+            protocol,
+            colors,
+            criterion,
+            max_configurations=EXACT_ANCHOR_MAX_CONFIGURATIONS,
+            max_transient=practical_max_transient(),
+        )
+    except (ChainTooLarge, SolveTooLarge):
+        return None
 
 
 # --------------------------------------------------------------------------- #
@@ -569,9 +634,27 @@ class SweepRunner:
         self.store = store
         self.chunk_size = chunk_size
         self.vectorize = vectorize
+        #: Per-cell stopping diagnostics of the most recent adaptive sweep
+        #: (cell coordinates + :meth:`StopDecision.to_dict`), in cell order;
+        #: empty after fixed sweeps.
+        self.last_stopping: list[dict] = []
 
     def run(self, sweep: SweepSpec) -> SweepResult:
-        """Expand the sweep and execute every run (through the cache, if any)."""
+        """Expand the sweep and execute every run (through the cache, if any).
+
+        Adaptive sweeps (``trials="auto"``) return their records in cell
+        order (each cell's executed trials in trial order) with the per-cell
+        stopping diagnostics under ``result.extras["stopping"]``.
+        """
+        if sweep.is_adaptive:
+            by_index = {
+                index: record for index, record, _cached in self._iter_adaptive(sweep)
+            }
+            return SweepResult(
+                spec=sweep,
+                records=[by_index[index] for index in sorted(by_index)],
+                extras={"stopping": list(self.last_stopping)},
+            )
         specs = sweep.expand()
         if self.store is None:
             units = self._units(specs, list(range(len(specs))))
@@ -595,7 +678,16 @@ class SweepRunner:
         are yielded (and, with a store, persisted) chunk by chunk, so a
         consumer sees results while the sweep is still running and a crash
         loses at most the chunk in flight.
+
+        For adaptive sweeps ``index`` is the run's position in the
+        ``max_trials`` expansion (``cell_index · max_trials + trial``) and
+        only executed trials are yielded; the per-cell stopping diagnostics
+        are available as ``runner.last_stopping`` once the generator is
+        exhausted.
         """
+        if sweep.is_adaptive:
+            yield from self._iter_adaptive(sweep)
+            return
         specs = sweep.expand()
         if self.store is not None:
             yield from self._iter_with_store(sweep, specs)
@@ -603,6 +695,113 @@ class SweepRunner:
         for chunk in self._chunks(self._units(specs, list(range(len(specs))))):
             for index, record in self._execute_units(specs, chunk):
                 yield index, record, False
+
+    # -- adaptive (trials="auto") execution ---------------------------------------
+
+    def _iter_adaptive(self, sweep: SweepSpec):
+        """Sequential sampling: run each cell in batches until its rule stops it.
+
+        The schedule is deterministic — every cell is evaluated at the fixed
+        checkpoints ``min_trials, +batch_size, …, max_trials`` of the sweep's
+        :class:`~repro.api.stopping.StoppingRule`, and
+        :meth:`StoppingRule.evaluate` is a pure function of the cell's metric
+        values in trial order — so the executed trial set (and therefore the
+        result) is identical across executors, re-runs, and kill/resume.
+
+        Everything flows through the same machinery as fixed sweeps: trial
+        seeds come from the ``(cell, trial)`` derivation (the first ``B``
+        trials of a cell are record-identical to a fixed ``trials=B`` sweep
+        and share its store entries), a round's batch of a cell forms a
+        replicate group for the vector engine, and the store/manifest
+        checkpointing works per round.  The manifest's universe is the full
+        ``max_trials`` expansion; early-stopped trials simply stay pending —
+        advisory only, the store remains the source of truth on resume.
+        """
+        rule = sweep.stopping_rule
+        assert rule is not None  # SweepSpec.__post_init__ defaults it
+        cells = sweep.expand_cells()
+        max_trials = rule.max_trials
+        specs = [cell.spec(trial) for cell in cells for trial in range(max_trials)]
+        manifest = None
+        if self.store is not None:
+            manifest = self.store.open_manifest(sweep, specs)
+        values: list[dict[int, float]] = [{} for _ in cells]
+        decisions: list[StopDecision | None] = [None] * len(cells)
+        anchors: dict[int, float | None] = {}
+        done_trials = [0] * len(cells)
+        active = list(range(len(cells)))
+        while active:
+            batch: list[int] = []
+            for cell_index in active:
+                target = rule.next_target(done_trials[cell_index])
+                batch.extend(
+                    cell_index * max_trials + trial
+                    for trial in range(done_trials[cell_index], target)
+                )
+                done_trials[cell_index] = target
+            pending: list[int] = []
+            for index in batch:
+                record = self.store.get(specs[index]) if self.store is not None else None
+                if record is not None:
+                    assert manifest is not None
+                    manifest.mark_done(index)
+                    self._note_metric(rule, cells, values, index, max_trials, record)
+                    yield index, record, True
+                else:
+                    pending.append(index)
+            if self.store is not None:
+                self.store.save_manifest(manifest)
+            for chunk in self._chunks(self._units(specs, pending)):
+                for index, record in self._execute_units(specs, chunk):
+                    if self.store is not None:
+                        self.store.put(specs[index], record)
+                        assert manifest is not None
+                        manifest.mark_done(index)
+                    self._note_metric(rule, cells, values, index, max_trials, record)
+                    yield index, record, False
+                if self.store is not None:
+                    self.store.save_manifest(manifest)
+            still_active: list[int] = []
+            for cell_index in active:
+                if rule.exact_anchor and cell_index not in anchors:
+                    anchors[cell_index] = exact_anchor_value(
+                        cells[cell_index].spec(0), rule.metric
+                    )
+                ordered = [
+                    values[cell_index][trial]
+                    for trial in sorted(values[cell_index])
+                ]
+                decision = rule.evaluate(ordered, anchor=anchors.get(cell_index))
+                if decision is None:
+                    still_active.append(cell_index)
+                else:
+                    decisions[cell_index] = decision
+            active = still_active
+        self.last_stopping = [
+            {**cell.describe(), **decision.to_dict()}
+            for cell, decision in zip(cells, decisions)
+            if decision is not None
+        ]
+
+    @staticmethod
+    def _note_metric(
+        rule: StoppingRule,
+        cells: Sequence[SweepCell],
+        values: list[dict[int, float]],
+        index: int,
+        max_trials: int,
+        record: RunRecord,
+    ) -> None:
+        """Record one trial's metric value for its cell's stop evaluation."""
+        cell_index, trial = divmod(index, max_trials)
+        value = _aggregate.record_value(record, rule.metric)
+        if value is None:
+            raise ValueError(
+                f"stopping metric {rule.metric!r} is None on a record of cell "
+                f"{cells[cell_index].describe()}; pick a metric the cell's "
+                "runner actually measures"
+            )
+        values[cell_index][trial] = float(value)
 
     # -- replicate-group routing ------------------------------------------------
 

@@ -165,6 +165,12 @@ class SweepResult:
 
     spec: SweepSpec
     records: list[RunRecord]
+    #: Sweep-level metadata (JSON-native).  Adaptive sweeps put their
+    #: per-cell stopping diagnostics here under ``"stopping"`` — a list of
+    #: ``{cell coordinates, reason, trials, mean, ci_low, ci_high,
+    #: half_width}`` dictionaries in cell order — keeping the records
+    #: themselves bit-identical to their fixed-trial counterparts.
+    extras: dict[str, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -199,6 +205,7 @@ class SweepResult:
         return {
             "spec": self.spec.to_dict(),
             "records": [record.to_dict() for record in self.records],
+            "extras": dict(self.extras),
         }
 
     @classmethod
@@ -206,6 +213,7 @@ class SweepResult:
         return cls(
             spec=SweepSpec.from_dict(data["spec"]),
             records=[RunRecord.from_dict(record) for record in data["records"]],
+            extras=dict(data.get("extras", {})),
         )
 
     def to_json(self, indent: int | None = None) -> str:

@@ -12,16 +12,23 @@ Seed discipline
 
 A sweep has one root ``seed``.  Expansion derives
 
-* one **run seed** per expanded run (hash of the root seed and the run's
-  position in the grid) — it drives the engine and, for the agent engine,
-  the scheduler; and
+* one **run seed** per expanded run (hash of the root seed, the run's grid
+  *cell* and its trial index within the cell) — it drives the engine and,
+  for the agent engine, the scheduler; and
 * one **workload seed** per (k, n, workload) sweep point, shared by every
   protocol, engine, scheduler and trial at that point — so competing
   protocols are compared on *identical* inputs, and a single ``RunSpec``
   regenerates its exact input colors without the rest of the sweep.
 
 Both are plain integers stored on the expanded ``RunSpec``, so any single
-record from a sweep is reproducible from its spec alone.
+record from a sweep is reproducible from its spec alone.  Because the run
+seed is derived from ``(cell, trial)`` rather than the run's flat position,
+a cell's trial seeds do not depend on the sweep's trial count: the first
+``B`` trials of any cell are spec-identical across ``trials=B``,
+``trials=B+1`` and ``trials="auto"`` variants of the same grid — the
+property adaptive sweeps (:mod:`repro.api.stopping`) rely on to grow a
+cell's sample incrementally while staying bit-compatible with (and
+cache-shareable against) fixed-trial sweeps.
 """
 
 from __future__ import annotations
@@ -31,6 +38,8 @@ import json
 from collections.abc import Mapping, Sequence
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any
+
+from repro.api.stopping import StoppingRule
 
 def canonical_json(data: Any) -> str:
     """The one canonical JSON spelling of a JSON-native value.
@@ -182,6 +191,72 @@ class RunSpec:
 
 
 @dataclass(frozen=True)
+class SweepCell:
+    """One grid cell of a sweep: every axis fixed, only the trial index free.
+
+    The unit adaptive sweeps grow: :meth:`spec` materializes the cell's
+    ``trial``-th run with the deterministic ``(cell, trial)`` seed
+    derivation, so a cell's trial sequence is independent of how many trials
+    the sweep ultimately runs.
+    """
+
+    sweep_seed: int
+    #: The cell's position in the trial-free expansion order.
+    index: int
+    protocol: str
+    protocol_params: Mapping[str, Any]
+    n: int
+    k: int
+    workload: str
+    workload_params: Mapping[str, Any]
+    engine: str
+    scheduler: str | None
+    scheduler_params: Mapping[str, Any]
+    criterion: str | None
+    max_steps: int | None
+    runner: str
+    workload_seed: int
+    observers: Sequence[object]
+
+    def trial_seed(self, trial: int) -> int:
+        """The run seed of this cell's ``trial``-th run (trial-count independent)."""
+        if trial < 0:
+            raise ValueError(f"trial index must be non-negative, got {trial}")
+        return derive_seed(self.sweep_seed, f"run:{self.index}:{trial}")
+
+    def spec(self, trial: int) -> RunSpec:
+        """The ``trial``-th run of this cell, as a plain :class:`RunSpec`."""
+        return RunSpec(
+            protocol=self.protocol,
+            n=self.n,
+            k=self.k,
+            workload=self.workload,
+            protocol_params=self.protocol_params,
+            workload_params=self.workload_params,
+            engine=self.engine,
+            scheduler=self.scheduler,
+            scheduler_params=self.scheduler_params,
+            criterion=self.criterion,
+            max_steps=self.max_steps,
+            runner=self.runner,
+            seed=self.trial_seed(trial),
+            workload_seed=self.workload_seed,
+            observers=self.observers,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """The cell's grid coordinates (the key of per-cell diagnostics)."""
+        return {
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "n": self.n,
+            "k": self.k,
+            "engine": self.engine,
+            "scheduler": self.scheduler,
+        }
+
+
+@dataclass(frozen=True)
 class SweepSpec:
     """A grid of runs over the experiment axes.
 
@@ -190,6 +265,12 @@ class SweepSpec:
     (nested in that order, so tables grouped per protocol vary fastest) and
     derives per-run and per-point seeds from the root ``seed`` — see the
     module docstring for the seed discipline.
+
+    ``trials`` is either a fixed integer or ``"auto"``: an adaptive sweep
+    has no fixed expansion — each cell (:meth:`expand_cells`) runs in
+    incremental batches until its ``stopping`` rule
+    (:class:`~repro.api.stopping.StoppingRule`) is satisfied, with the first
+    ``B`` trials of every cell spec-identical to a fixed ``trials=B`` sweep.
     """
 
     protocols: Sequence[object]
@@ -204,7 +285,13 @@ class SweepSpec:
     max_steps: int | None = None
     #: Quadratic budget coefficient ``c``: each run gets ``c · n²`` steps.
     max_steps_quadratic: int | None = None
-    trials: int = 1
+    #: Trials per grid cell: a fixed integer, or ``"auto"`` for sequential
+    #: sampling governed by ``stopping``.
+    trials: int | str = 1
+    #: Stopping rule for ``trials="auto"`` (a :class:`StoppingRule`, or its
+    #: ``to_dict`` form when loaded from JSON); ``None`` means the default
+    #: rule.  Only meaningful on adaptive sweeps.
+    stopping: StoppingRule | Mapping[str, Any] | None = None
     seed: int = 0
     runner: str = "protocol"
     #: Default worker-process count for executors (``None``/1 = serial).
@@ -230,8 +317,23 @@ class SweepSpec:
             raise ValueError("a sweep needs at least one population size")
         if not self.ks:
             raise ValueError("a sweep needs at least one color count")
-        if self.trials < 1:
+        if isinstance(self.trials, str):
+            if self.trials != "auto":
+                raise ValueError(
+                    f"trials must be a positive integer or the string 'auto', "
+                    f"got {self.trials!r}"
+                )
+        elif self.trials < 1:
             raise ValueError("trials must be at least 1")
+        if self.stopping is not None and not isinstance(self.stopping, StoppingRule):
+            object.__setattr__(self, "stopping", StoppingRule.from_dict(self.stopping))
+        if self.stopping is not None and not self.is_adaptive:
+            raise ValueError(
+                "a stopping rule only applies to adaptive sweeps; set "
+                "trials='auto' (or drop the stopping field)"
+            )
+        if self.is_adaptive and self.stopping is None:
+            object.__setattr__(self, "stopping", StoppingRule())
         if self.max_steps is not None and self.max_steps < 0:
             raise ValueError(
                 f"max_steps must be a non-negative interaction budget, got "
@@ -250,9 +352,21 @@ class SweepSpec:
             return self.max_steps_quadratic * n * n
         return None
 
-    def expand(self) -> list[RunSpec]:
-        """The deterministic list of runs this sweep describes."""
-        runs: list[RunSpec] = []
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether this sweep samples sequentially (``trials="auto"``)."""
+        return self.trials == "auto"
+
+    @property
+    def stopping_rule(self) -> StoppingRule | None:
+        """The normalized :class:`StoppingRule` (``None`` on fixed sweeps)."""
+        rule = self.stopping
+        assert rule is None or isinstance(rule, StoppingRule)  # normalized in __post_init__
+        return rule
+
+    def expand_cells(self) -> list[SweepCell]:
+        """The sweep's grid cells in expansion order (the trial axis free)."""
+        cells: list[SweepCell] = []
         index = 0
         for k in self.ks:
             for n in self.populations:
@@ -263,30 +377,47 @@ class SweepSpec:
                     for engine in self.engines:
                         for scheduler_name, scheduler_params in self.schedulers:
                             for protocol_name, protocol_params in self.protocols:
-                                for _trial in range(self.trials):
-                                    runs.append(
-                                        RunSpec(
-                                            protocol=protocol_name,
-                                            n=n,
-                                            k=k,
-                                            workload=workload_name,
-                                            protocol_params=protocol_params,
-                                            workload_params=workload_params,
-                                            engine=engine,
-                                            scheduler=scheduler_name,
-                                            scheduler_params=scheduler_params,
-                                            criterion=self.criterion,
-                                            max_steps=self._budget(n),
-                                            runner=self.runner,
-                                            seed=derive_seed(self.seed, f"run:{index}"),
-                                            workload_seed=point_seed,
-                                            observers=self.observers,
-                                        )
+                                cells.append(
+                                    SweepCell(
+                                        sweep_seed=self.seed,
+                                        index=index,
+                                        protocol=protocol_name,
+                                        protocol_params=protocol_params,
+                                        n=n,
+                                        k=k,
+                                        workload=workload_name,
+                                        workload_params=workload_params,
+                                        engine=engine,
+                                        scheduler=scheduler_name,
+                                        scheduler_params=scheduler_params,
+                                        criterion=self.criterion,
+                                        max_steps=self._budget(n),
+                                        runner=self.runner,
+                                        workload_seed=point_seed,
+                                        observers=self.observers,
                                     )
-                                    index += 1
-        return runs
+                                )
+                                index += 1
+        return cells
 
-    def __len__(self) -> int:
+    def expand(self) -> list[RunSpec]:
+        """The deterministic list of runs this sweep describes.
+
+        Raises:
+            ValueError: for adaptive sweeps, which have no fixed expansion —
+                execute them with :class:`~repro.api.executor.SweepRunner`
+                (or enumerate :meth:`expand_cells` and grow trials manually).
+        """
+        if self.is_adaptive:
+            raise ValueError(
+                "an adaptive sweep (trials='auto') has no fixed expansion; "
+                "execute it with run_sweep/SweepRunner, or enumerate "
+                "expand_cells() and call cell.spec(trial) per grown trial"
+            )
+        return [cell.spec(trial) for cell in self.expand_cells() for trial in range(self.trials)]
+
+    def num_cells(self) -> int:
+        """How many grid cells the sweep has (the trial-free expansion size)."""
         return (
             len(self.ks)
             * len(self.populations)
@@ -294,8 +425,17 @@ class SweepSpec:
             * len(self.engines)
             * len(self.schedulers)
             * len(self.protocols)
-            * self.trials
         )
+
+    def __len__(self) -> int:
+        """Total runs: exact for fixed sweeps, the ``max_trials`` upper bound
+        for adaptive ones (cells stop early when their rule is satisfied)."""
+        if self.is_adaptive:
+            rule = self.stopping_rule
+            assert rule is not None
+            return self.num_cells() * rule.max_trials
+        assert isinstance(self.trials, int)
+        return self.num_cells() * self.trials
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
@@ -311,6 +451,7 @@ class SweepSpec:
             "max_steps": self.max_steps,
             "max_steps_quadratic": self.max_steps_quadratic,
             "trials": self.trials,
+            "stopping": None if self.stopping_rule is None else self.stopping_rule.to_dict(),
             "seed": self.seed,
             "runner": self.runner,
             "workers": self.workers,

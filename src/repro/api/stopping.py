@@ -1,0 +1,197 @@
+"""Sequential stopping rules for adaptive (``trials="auto"``) sweeps.
+
+A fixed-trial sweep spends the same budget on every grid cell regardless of
+how quickly the statistic settles: a cell whose first trials are all correct
+pays as much as a cell sitting on a decision boundary.  A
+:class:`StoppingRule` replaces the fixed count with a sequential loop — run a
+batch of trials, recompute a confidence interval for one record metric, stop
+when the interval is tight enough (or the exact engine's analytical value is
+already inside it), otherwise run another batch up to a hard cap.
+
+The rule is plain data with a lossless JSON round trip, so it rides inside a
+:class:`~repro.api.spec.SweepSpec` (field ``stopping``) through the CLI, the
+result store and the HTTP service unchanged.  Everything about the schedule
+is deterministic: checkpoints fall at ``min_trials, min_trials + batch_size,
+…, max_trials``, and :meth:`StoppingRule.evaluate` is a pure function of the
+metric values observed so far — which is what makes an adaptive sweep
+record-identical across executors and bit-identical on re-runs.
+
+Interval choice: Bernoulli metrics (``correct`` — every observation 0 or 1)
+use the Wilson score interval (:func:`repro.analysis.statistics.wilson_interval`),
+which stays informative at ``p̂ ∈ {0, 1}`` where the normal interval
+degenerates to zero width; other metrics use the normal approximation.
+``proportion=None`` auto-detects from the observed values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.analysis.statistics import confidence_interval, mean, wilson_interval
+
+#: The stop reasons :meth:`StoppingRule.evaluate` can emit.
+STOP_REASONS = ("exact-anchor", "half-width", "max-trials")
+
+
+@dataclass(frozen=True)
+class StopDecision:
+    """Why (and with what statistics) a cell stopped sampling."""
+
+    #: One of :data:`STOP_REASONS`.
+    reason: str
+    #: Trials the cell consumed.
+    trials: int
+    #: Sample mean of the metric at the stop.
+    mean: float
+    #: Confidence interval for the metric at the stop.
+    ci_low: float
+    ci_high: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["half_width"] = self.half_width
+        return data
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """When an adaptive sweep cell may stop sampling.
+
+    Fields (all plain data, JSON round-tripped by ``to_dict``/``from_dict``):
+
+    * ``metric`` — the :class:`~repro.api.records.RunRecord` field (or
+      summary alias / extras key) whose confidence interval is tracked;
+    * ``target_half_width`` — stop once the interval's half-width is at most
+      this (times ``|mean|`` when ``relative=True``);
+    * ``confidence`` — interval confidence level;
+    * ``min_trials`` / ``max_trials`` — the first checkpoint and the hard cap;
+    * ``batch_size`` — trials added between later checkpoints;
+    * ``proportion`` — force the Wilson interval (``True``), the normal
+      interval (``False``), or auto-detect Bernoulli samples (``None``);
+    * ``relative`` — interpret ``target_half_width`` relative to the sample
+      mean (falls back to absolute when the mean is zero);
+    * ``exact_anchor`` — also stop as soon as the exact engine's analytical
+      value of the metric lies inside the empirical interval (cells whose
+      configuration chain is not solvable simply never anchor).
+    """
+
+    metric: str = "correct"
+    target_half_width: float = 0.05
+    confidence: float = 0.95
+    min_trials: int = 8
+    max_trials: int = 128
+    batch_size: int = 8
+    proportion: bool | None = None
+    relative: bool = False
+    exact_anchor: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ValueError("a stopping rule needs a record metric to track")
+        if self.target_half_width <= 0:
+            raise ValueError(
+                f"target_half_width must be positive, got {self.target_half_width}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must lie strictly between 0 and 1")
+        if self.min_trials < 1:
+            raise ValueError(f"min_trials must be at least 1, got {self.min_trials}")
+        if self.max_trials < self.min_trials:
+            raise ValueError(
+                f"max_trials ({self.max_trials}) must be at least min_trials "
+                f"({self.min_trials})"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be at least 1, got {self.batch_size}")
+
+    # -- the deterministic batch schedule ---------------------------------------
+
+    def next_target(self, done: int) -> int:
+        """The trial count at the next checkpoint, given ``done`` completed trials.
+
+        ``min_trials`` first, then ``+batch_size`` per round, capped at
+        ``max_trials``; returns ``done`` unchanged once the cap is reached.
+        """
+        if done >= self.max_trials:
+            return done
+        if done < self.min_trials:
+            return self.min_trials
+        return min(done + self.batch_size, self.max_trials)
+
+    def checkpoints(self) -> list[int]:
+        """Every trial count at which :meth:`evaluate` is consulted."""
+        points = []
+        done = 0
+        while True:
+            target = self.next_target(done)
+            if target == done:
+                break
+            points.append(target)
+            done = target
+        return points
+
+    # -- interval machinery ------------------------------------------------------
+
+    def uses_proportion(self, values: Sequence[float]) -> bool:
+        """Whether this sample gets the Wilson interval."""
+        if self.proportion is not None:
+            return self.proportion
+        return all(float(value) in (0.0, 1.0) for value in values)
+
+    def interval(self, values: Sequence[float]) -> tuple[float, float]:
+        """The confidence interval the rule tracks for this sample."""
+        sample = [float(value) for value in values]
+        if self.uses_proportion(sample):
+            return wilson_interval(sum(sample), len(sample), self.confidence)
+        return confidence_interval(sample, self.confidence)
+
+    def evaluate(
+        self, values: Sequence[float], anchor: float | None = None
+    ) -> StopDecision | None:
+        """Decide whether a cell with these metric values may stop sampling.
+
+        A pure function of the observed values (and the optional analytical
+        ``anchor``); returns ``None`` to keep sampling.  Checked in priority
+        order: exact anchor inside the interval, half-width at target, hard
+        ``max_trials`` cap.  Never stops before ``min_trials``.
+        """
+        sample = [float(value) for value in values]
+        done = len(sample)
+        if done < self.min_trials:
+            return None
+        ci_low, ci_high = self.interval(sample)
+        center = mean(sample)
+        half_width = (ci_high - ci_low) / 2.0
+
+        def decision(reason: str) -> StopDecision:
+            return StopDecision(
+                reason=reason, trials=done, mean=center, ci_low=ci_low, ci_high=ci_high
+            )
+
+        if self.exact_anchor and anchor is not None and ci_low <= anchor <= ci_high:
+            return decision("exact-anchor")
+        target = self.target_half_width
+        if self.relative and center != 0.0:
+            target = self.target_half_width * abs(center)
+        if half_width <= target:
+            return decision("half-width")
+        if done >= self.max_trials:
+            return decision("max-trials")
+        return None
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> StoppingRule:
+        """Rebuild a rule from :meth:`to_dict` output (or hand-written JSON)."""
+        return cls(**dict(data))

@@ -18,6 +18,14 @@ the vector engine's lockstep driver by default — same records, one
 vectorized pass instead of ``trials`` serial runs.  ``--no-vectorize``
 forces one-spec-at-a-time execution, e.g. for A/B timing.
 
+``--trials auto`` switches any spec to adaptive sequential sampling
+(:mod:`repro.api.stopping`): each grid cell runs in batches until its
+stopping rule is satisfied.  The rule's knobs are exposed as flags
+(``--stop-metric``, ``--target-half-width``, ``--min-trials``,
+``--max-trials``, ``--batch-size``, ``--confidence``, ``--relative``,
+``--exact-anchor``); per-cell diagnostics (trials used, stop reason, final
+half-width) are printed after the aggregate table.
+
 ``spec.json`` holds a :class:`~repro.api.spec.SweepSpec` in its
 ``to_dict``/``to_json`` form, e.g.::
 
@@ -39,10 +47,12 @@ The persisted result (``-o``) round-trips losslessly through
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.api.executor import run_sweep
 from repro.api.spec import SweepSpec
+from repro.api.stopping import StoppingRule
 from repro.utils.tables import format_table
 
 
@@ -83,6 +93,23 @@ def main(argv: list[str] | None = None) -> int:
         "(records are identical either way)",
     )
     parser.add_argument(
+        "--trials",
+        default=None,
+        help="override the spec's trials: a positive integer, or 'auto' for "
+        "adaptive sequential sampling",
+    )
+    stopping_group = parser.add_argument_group(
+        "stopping rule", "knobs for --trials auto (each overrides the spec's rule)"
+    )
+    stopping_group.add_argument("--stop-metric", default=None, metavar="FIELD")
+    stopping_group.add_argument("--target-half-width", type=float, default=None)
+    stopping_group.add_argument("--confidence", type=float, default=None)
+    stopping_group.add_argument("--min-trials", type=int, default=None)
+    stopping_group.add_argument("--max-trials", type=int, default=None)
+    stopping_group.add_argument("--batch-size", type=int, default=None)
+    stopping_group.add_argument("--relative", action="store_true")
+    stopping_group.add_argument("--exact-anchor", action="store_true")
+    parser.add_argument(
         "--group",
         nargs="+",
         default=("protocol", "workload", "n", "k"),
@@ -106,6 +133,33 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.spec, "r", encoding="utf-8") as handle:
         sweep = SweepSpec.from_json(handle.read())
 
+    rule_overrides = {
+        field: value
+        for field, value in (
+            ("metric", args.stop_metric),
+            ("target_half_width", args.target_half_width),
+            ("confidence", args.confidence),
+            ("min_trials", args.min_trials),
+            ("max_trials", args.max_trials),
+            ("batch_size", args.batch_size),
+            ("relative", args.relative or None),
+            ("exact_anchor", args.exact_anchor or None),
+        )
+        if value is not None
+    }
+    trials: int | str = sweep.trials
+    if args.trials is not None:
+        trials = "auto" if args.trials == "auto" else int(args.trials)
+    if trials != "auto" and rule_overrides:
+        parser.error("stopping-rule flags require --trials auto (or an adaptive spec)")
+    if trials != sweep.trials or rule_overrides:
+        stopping = None
+        if trials == "auto":
+            stopping = dataclasses.replace(
+                sweep.stopping_rule or StoppingRule(), **rule_overrides
+            )
+        sweep = dataclasses.replace(sweep, trials=trials, stopping=stopping)
+
     store = None
     if args.store is not None:
         from repro.service.store import ResultStore
@@ -125,6 +179,35 @@ def main(argv: list[str] | None = None) -> int:
         headers = list(rows[0])
         print(format_table(headers, [[row[header] for header in headers] for row in rows]))
     print(f"{len(result.records)} runs ({sweep.name or 'unnamed sweep'}, seed={sweep.seed})")
+
+    stopping_diag = result.extras.get("stopping")
+    if stopping_diag:
+        headers = ["protocol", "workload", "n", "k", "trials", "reason", "half_width"]
+        print(
+            format_table(
+                headers,
+                [
+                    [
+                        entry["protocol"],
+                        entry["workload"],
+                        entry["n"],
+                        entry["k"],
+                        entry["trials"],
+                        entry["reason"],
+                        f"{entry['half_width']:.4f}",
+                    ]
+                    for entry in stopping_diag
+                ],
+            )
+        )
+        rule = sweep.stopping_rule
+        assert rule is not None
+        budget = len(stopping_diag) * rule.max_trials
+        spent = sum(entry["trials"] for entry in stopping_diag)
+        print(
+            f"adaptive: {spent}/{budget} trials "
+            f"({len(stopping_diag)} cells, max_trials={rule.max_trials})"
+        )
 
     if store is not None:
         stats = store.stats()

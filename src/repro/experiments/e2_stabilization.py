@@ -17,15 +17,24 @@ a :class:`~repro.simulation.observers.PotentialObserver` verifies the strict
 potential decrease — identically on *every* engine, at each engine's exact
 delta granularity (per interaction on the agent engine, per burst aggregate
 on the batched engine), which is what scales the measurement to large ``n``.
+
+The sweep defaults to adaptive sequential sampling (``trials="auto"``,
+:mod:`repro.api.stopping`): each (n, k) cell repeats its instrumented run
+until the relative confidence interval around the mean ket-exchange count is
+tight enough, so the table reports per-cell means over however many trials
+the statistic needed rather than a single draw.  Pass a fixed integer
+``trials`` to restore a fixed budget per cell.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.analysis.statistics import mean
 from repro.api.executor import register_runner, resolve_workload, run_sweep
 from repro.api.records import RunRecord
 from repro.api.spec import RunSpec, SweepSpec, derive_seed
+from repro.api.stopping import StoppingRule
 from repro.core.circles import CirclesProtocol
 from repro.core.greedy_sets import has_unique_majority, predicted_majority
 from repro.experiments.harness import ExperimentResult
@@ -148,12 +157,29 @@ def _stabilization_runner(spec: RunSpec) -> RunRecord:
 register_runner("e2-stabilization", _stabilization_runner)
 
 
+#: The default stopping rule for E2's adaptive sweep: repeat a cell until the
+#: confidence interval around its mean ket-exchange count is within ±35% of
+#: the mean (``relative=True``).  Two trials suffice for the typical cell
+#: (ket-exchange counts concentrate tightly); a noisy cell earns up to six.
+E2_STOPPING = StoppingRule(
+    metric="ket_exchanges",
+    relative=True,
+    target_half_width=0.35,
+    min_trials=2,
+    batch_size=2,
+    max_trials=6,
+    proportion=False,
+)
+
+
 def sweep_spec(
     populations: Iterable[int] = (10, 20, 40, 80),
     ks: Iterable[int] = (3, 5, 8),
     seed: int = 7,
     engine: str = "agent",
     workers: int | None = None,
+    trials: int | str = "auto",
+    stopping: StoppingRule | None = None,
 ) -> SweepSpec:
     """The declarative description of the E2 sweep."""
     return SweepSpec(
@@ -165,7 +191,8 @@ def sweep_spec(
         engines=(engine,),
         runner="e2-stabilization",
         max_steps_quadratic=80,
-        trials=1,
+        trials=trials,
+        stopping=(stopping or E2_STOPPING) if trials == "auto" else None,
         seed=derive_seed(seed, "e2"),
         workers=workers,
     )
@@ -178,6 +205,8 @@ def run(
     engine: str = "agent",
     workers: int | None = None,
     store=None,
+    trials: int | str = "auto",
+    stopping: StoppingRule | None = None,
 ) -> ExperimentResult:
     """Build the E2 stabilization table from the declarative sweep.
 
@@ -187,23 +216,47 @@ def run(
     process pool.  ``store`` (a :class:`repro.service.store.ResultStore`)
     makes table regeneration incremental: rows whose runs are already stored
     are served from cache, so re-rendering after a parameter tweak simulates
-    only the new sweep points.
+    only the new sweep points.  ``trials="auto"`` (the default) samples each
+    (n, k) cell sequentially under ``stopping`` (default: :data:`E2_STOPPING`)
+    and the table reports per-cell means; a fixed integer runs exactly that
+    many trials per cell.
     """
     result = ExperimentResult(
         experiment_id="E2",
         title="Stabilization: ket exchanges are finite, g(C) strictly decreases (Theorem 3.4)",
-        headers=("n", "k", "ket exchanges", "interactions to stability", "g(C) strictly decreasing"),
+        headers=(
+            "n",
+            "k",
+            "ket exchanges",
+            "interactions to stability",
+            "g(C) strictly decreasing",
+            "trials",
+        ),
     )
     sweep_result = run_sweep(
-        sweep_spec(populations, ks, seed=seed, engine=engine), workers=workers, store=store
+        sweep_spec(populations, ks, seed=seed, engine=engine, trials=trials, stopping=stopping),
+        workers=workers,
+        store=store,
     )
-    for record in sweep_result.records:
+    for (n, k), records in sweep_result.groupby("n", "k").items():
+        steps_to_stable = [record.extras["steps_to_stable"] for record in records]
         result.add_row(
-            record.num_agents,
-            record.num_colors,
-            record.ket_exchanges,
-            record.extras["steps_to_stable"],
-            record.extras["potential_strictly_decreased"],
+            n,
+            k,
+            mean([record.ket_exchanges for record in records]),
+            None if any(steps is None for steps in steps_to_stable) else mean(steps_to_stable),
+            all(record.extras["potential_strictly_decreased"] for record in records),
+            len(records),
+        )
+    stopping_diag = sweep_result.extras.get("stopping")
+    if stopping_diag:
+        rule = stopping or E2_STOPPING
+        spent = sum(entry["trials"] for entry in stopping_diag)
+        result.add_note(
+            f"Adaptive sampling (trials='auto'): {spent} trials across "
+            f"{len(stopping_diag)} (n, k) cells (max budget "
+            f"{len(stopping_diag) * rule.max_trials}); cell values are means over "
+            "the trials each cell needed."
         )
     result.add_note(
         "The number of ket exchanges is always finite and small compared to the interaction "

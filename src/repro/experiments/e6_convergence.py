@@ -32,6 +32,17 @@ For small populations (``n ≤ exact_max_n``) the table also carries the
 criterion in the uniform-random-scheduler Markov chain, computed on the very
 same workload colors the empirical trials used.  Rows whose configuration
 space is too large for the exact solve show "—".
+
+Trials default to adaptive sequential sampling (``trials="auto"``,
+:mod:`repro.api.stopping`): each (protocol, workload, n, k) cell runs in
+batches until the Wilson interval around its correctness rate is tight
+enough — and cells small enough for the exact engine stop as soon as the
+analytical correctness probability lies inside that interval (the
+``exact_anchor`` mode), so easy cells cost ``min_trials`` while cells near a
+decision boundary (the cancellation heuristic on adversarial workloads)
+automatically earn up to ``max_trials``.  The "trials (stop)" column reports
+what each cell actually used.  Pass a fixed integer ``trials`` for the
+classic fixed-budget sweep.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ from collections.abc import Iterable
 
 from repro.api.executor import resolve_workload, run_sweep
 from repro.api.spec import SweepSpec, derive_seed
+from repro.api.stopping import StoppingRule
 from repro.exact import ChainTooLarge, SolveTooLarge, exact_expected_convergence
 from repro.exact.solve import practical_max_transient
 from repro.protocols.registry import get_protocol
@@ -91,14 +103,33 @@ def _workload_names_for(k: int, adversarial: bool) -> tuple[str, ...]:
     return workloads
 
 
+#: The default stopping rule for E6's adaptive sweeps: track the Wilson
+#: interval of each cell's correctness rate.  The 0.17 target is chosen
+#: between the Wilson half-widths of an all-correct cell at 4 trials (≈0.245)
+#: and at 8 trials (≈0.162), so a plain cell needs 8 trials — but a cell the
+#: exact engine can solve stops at ``min_trials`` the moment the analytical
+#: P(correct) falls inside the empirical interval, and a boundary cell (the
+#: cancellation heuristic mid-failure) earns up to 16.
+E6_STOPPING = StoppingRule(
+    metric="correct",
+    proportion=True,
+    target_half_width=0.17,
+    min_trials=4,
+    batch_size=4,
+    max_trials=16,
+    exact_anchor=True,
+)
+
+
 def sweep_specs(
     populations: Iterable[int] = (8, 16, 32, 64),
     ks: Iterable[int] = (2, 4),
-    trials: int = 4,
+    trials: int | str = "auto",
     seed: int = 59,
     adversarial: bool = True,
     engine: str = "batch",
     workers: int | None = None,
+    stopping: StoppingRule | None = None,
 ) -> list[SweepSpec]:
     """The declarative description of the E6 comparison, one sweep per ``k``.
 
@@ -119,6 +150,7 @@ def sweep_specs(
             engines=(engine,),
             schedulers=schedulers,
             trials=trials,
+            stopping=(stopping or E6_STOPPING) if trials == "auto" else None,
             seed=derive_seed(seed, f"e6:k={k}"),
             max_steps_quadratic=200,
             workers=workers,
@@ -130,17 +162,23 @@ def sweep_specs(
 def run(
     populations: Iterable[int] = (8, 16, 32, 64),
     ks: Iterable[int] = (2, 4),
-    trials: int = 4,
+    trials: int | str = "auto",
     seed: int = 59,
     adversarial: bool = True,
     engine: str = "batch",
     workers: int | None = None,
     exact_max_n: int = 8,
     store=None,
+    stopping: StoppingRule | None = None,
 ) -> ExperimentResult:
     """Build the E6 convergence/correctness comparison table.
 
     Args:
+        trials: trials per sweep cell — ``"auto"`` (the default) samples
+            sequentially under ``stopping`` (default: :data:`E6_STOPPING`),
+            a fixed integer restores the classic fixed-budget sweep.
+        stopping: optional :class:`~repro.api.stopping.StoppingRule`
+            override for the adaptive path.
         engine: simulation engine (``"agent"``, ``"configuration"``,
             ``"batch"`` or ``"vector"``).  All of them simulate the uniform
             random scheduler — exactly for the configuration-level engines,
@@ -172,11 +210,19 @@ def run(
             "states",
             "mean interactions",
             "exact E[interactions]",
+            "trials (stop)",
             "correct runs",
         ),
     )
-    for sweep in sweep_specs(populations, ks, trials, seed, adversarial, engine):
+    adaptive_cells = 0
+    adaptive_spent = 0
+    adaptive_budget = 0
+    for sweep in sweep_specs(populations, ks, trials, seed, adversarial, engine, stopping=stopping):
         sweep_result = run_sweep(sweep, workers=workers, store=store)
+        stop_by_point = {
+            (entry["protocol"], entry["workload"], entry["n"], entry["k"]): entry
+            for entry in sweep_result.extras.get("stopping", ())
+        }
         rows = sweep_result.aggregate(
             value="steps", by=("protocol", "workload", "n", "k"), stats=("mean",)
         )
@@ -193,6 +239,13 @@ def run(
                 exact_cell = exact_expected_cell(row["protocol"], row["k"], colors)
             else:
                 exact_cell = "—"
+            stop_entry = stop_by_point.get(point)
+            if stop_entry is not None:
+                trials_cell = f"{stop_entry['trials']} ({stop_entry['reason']})"
+                adaptive_cells += 1
+                adaptive_spent += stop_entry["trials"]
+            else:
+                trials_cell = row["trials"]
             result.add_row(
                 row["protocol"],
                 row["workload"],
@@ -201,13 +254,25 @@ def run(
                 get_protocol(row["protocol"], row["k"]).state_count(),
                 row["mean_steps"],
                 exact_cell,
+                trials_cell,
                 f"{row['correct']}/{row['trials']}",
             )
+        rule = sweep.stopping_rule
+        if rule is not None:
+            adaptive_budget += sweep.num_cells() * rule.max_trials
     heuristic_failures = sum(
         1
         for row in result.rows
-        if row[0] == "cancellation-plurality" and row[-1] != f"{trials}/{trials}"
+        if row[0] == "cancellation-plurality"
+        and row[-1].split("/")[0] != row[-1].split("/")[1]
     )
+    if adaptive_cells:
+        result.add_note(
+            f"Adaptive sampling (trials='auto'): {adaptive_spent} trials across "
+            f"{adaptive_cells} cells (max budget {adaptive_budget}); 'trials (stop)' "
+            "shows each cell's spend and stop reason (exact-anchor cells stopped as "
+            "soon as the analytical P(correct) entered the empirical Wilson interval)."
+        )
     result.add_note(
         "Circles and the tournament comparator are correct in every run; the cancellation "
         f"heuristic failed (or did not converge) in {heuristic_failures} of its sweep points — "

@@ -15,7 +15,10 @@ alone (``http.server`` + the ``asyncio`` executor — no new dependencies):
   With a store attached, runs whose spec SHA is already stored stream back
   immediately from cache and fresh records are persisted + checkpointed in
   the sweep's manifest — resubmitting an identical sweep is pure cache, and
-  resubmitting after a crash finishes only the remainder.
+  resubmitting after a crash finishes only the remainder.  Adaptive sweeps
+  (``trials="auto"``) additionally stream one trailing envelope
+  ``{"stopping": [...]}`` with the per-cell stopping diagnostics; fixed
+  sweeps stream record envelopes only.
 * ``POST /run`` — body: :class:`~repro.api.spec.RunSpec` JSON; one envelope.
 * ``GET /status`` — queue depth (runs accepted but not yet finished), cache
   hit rate, and per-sweep progress for active and stored sweeps.
@@ -76,8 +79,16 @@ class SweepService:
 
     # -- submissions -------------------------------------------------------------
 
-    def stream_sweep(self, sweep: SweepSpec):
-        """Execute ``sweep``, yielding ``(index, record, cached)`` as runs finish."""
+    def stream_sweep(self, sweep: SweepSpec, diagnostics: list[dict[str, Any]] | None = None):
+        """Execute ``sweep``, yielding ``(index, record, cached)`` as runs finish.
+
+        For adaptive sweeps (``trials="auto"``) the progress ``total`` is the
+        ``max_trials`` upper bound (cells that stop early never ship their
+        remaining trials), and the per-cell stopping diagnostics are appended
+        to the caller-supplied ``diagnostics`` list once the sweep finishes —
+        the handler turns them into a trailing ``{"stopping": [...]}``
+        envelope on the NDJSON stream.
+        """
         runner = SweepRunner(
             workers=self.workers, executor=self._make_executor(), store=self.store
         )
@@ -98,6 +109,8 @@ class SweepService:
                     progress["cached"] += bool(cached)
                     self._completed_runs += 1
                 yield index, record, cached
+            if diagnostics is not None and runner.last_stopping:
+                diagnostics.extend(runner.last_stopping)
         finally:
             with self._lock:
                 self._active.pop(sweep_sha, None)
@@ -214,8 +227,15 @@ def make_handler(service: SweepService) -> type[BaseHTTPRequestHandler]:
             self.end_headers()
             try:
                 if isinstance(submission, SweepSpec):
-                    for index, record, cached in service.stream_sweep(submission):
+                    diagnostics: list[dict[str, Any]] = []
+                    for index, record, cached in service.stream_sweep(
+                        submission, diagnostics
+                    ):
                         self._write_envelope(index, record, cached)
+                    if diagnostics:
+                        line = json.dumps({"stopping": diagnostics}) + "\n"
+                        self.wfile.write(line.encode("utf-8"))
+                        self.wfile.flush()
                 else:
                     record, cached = service.execute_single(submission)
                     self._write_envelope(0, record, cached)

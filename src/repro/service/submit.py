@@ -12,7 +12,9 @@ a :class:`~repro.api.spec.SweepSpec`, otherwise a
 :class:`~repro.api.spec.RunSpec`); ``--run``/``--sweep`` force it.  Each
 response line is an envelope ``{"index", "cached", "sha", "record"}`` and is
 printed as it arrives — the server streams runs as they finish, so a long
-sweep shows progress immediately and cached runs come back at once.
+sweep shows progress immediately and cached runs come back at once.  An
+adaptive sweep's trailing ``{"stopping": [...]}`` diagnostics envelope is
+summarized to stderr and excluded from the record count and ``-o`` output.
 
 Exit status is non-zero when the server reports an in-stream error.
 """
@@ -76,6 +78,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"server error: {parsed['error']}", file=sys.stderr)
             failed = True
             break
+        if "stopping" in parsed and "record" not in parsed:
+            # The trailing diagnostics envelope of an adaptive sweep: not a
+            # record, so it stays out of the count and the JSONL output.
+            cells = parsed["stopping"]
+            spent = sum(entry.get("trials", 0) for entry in cells)
+            print(
+                f"adaptive stopping: {spent} trial(s) across {len(cells)} cell(s)",
+                file=sys.stderr,
+            )
+            continue
         received.append(line)
         cached += bool(parsed.get("cached"))
         if not args.quiet:

@@ -14,6 +14,7 @@ from repro.analysis.statistics import (
     std_dev,
     summarize,
     variance,
+    wilson_interval,
 )
 
 
@@ -84,6 +85,68 @@ class TestConfidenceInterval:
             assert (low, high) == (3.0, 3.0)
             assert isinstance(low, float)
             assert variance(sample) == 0.0
+
+
+class TestWilsonInterval:
+    def test_stays_open_at_phat_one(self):
+        """The regime adaptive sweeps live in: every trial correct.  The
+        normal interval collapses to zero width; Wilson must not."""
+        low, high = wilson_interval(8, 8)
+        assert high == 1.0
+        assert 0.0 < low < 1.0
+        # z²/(2(n + z²)) at z=1.96, n=8 — the analytical half-width.
+        assert math.isclose((high - low) / 2, 3.8416 / (2 * (8 + 3.8416)), rel_tol=1e-3)
+
+    def test_stays_open_at_phat_zero(self):
+        low, high = wilson_interval(0, 8)
+        assert low == 0.0
+        assert 0.0 < high < 1.0
+        # Symmetric to the p̂=1 case.
+        one_low, one_high = wilson_interval(8, 8)
+        assert math.isclose(high, 1.0 - one_low)
+
+    def test_tiny_samples(self):
+        low, high = wilson_interval(1, 1)
+        assert low > 0.0 and high == 1.0
+        low, high = wilson_interval(0, 1)
+        assert low == 0.0 and high < 1.0
+        # One success in two: the interval straddles 1/2 and stays in [0, 1].
+        low, high = wilson_interval(1, 2)
+        assert 0.0 <= low < 0.5 < high <= 1.0
+
+    def test_shrinks_with_samples_and_contains_phat(self):
+        widths = []
+        for count in (4, 16, 64, 256):
+            low, high = wilson_interval(count // 2, count)
+            assert low < 0.5 < high
+            widths.append(high - low)
+        assert widths == sorted(widths, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=1.0)
+
+    def test_summarize_proportion_switch(self):
+        stats = summarize([1.0, 1.0, 1.0, 1.0], proportion=True)
+        assert (stats.ci_low, stats.ci_high) == wilson_interval(4, 4)
+        assert stats.half_width is not None and stats.half_width > 0
+        with pytest.raises(ValueError):
+            summarize([0.5, 1.0], proportion=True)
+
+    def test_summarize_default_keeps_zero_variance_short_circuit(self):
+        """proportion=False (the default) must keep the degenerate normal
+        interval on all-identical samples — the pre-existing contract."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            stats = summarize([1.0] * 6)
+        assert (stats.ci_low, stats.ci_high) == (1.0, 1.0)
+        assert stats.half_width == 0.0
 
 
 class TestSummary:

@@ -2,10 +2,13 @@
 restarted from its manifest finishes only the remainder, and the merged
 result is record-identical to an uninterrupted run."""
 
+import dataclasses
+
 import pytest
 
 from repro.api.executor import SerialExecutor, SweepRunner
 from repro.api.spec import SweepSpec
+from repro.api.stopping import StoppingRule
 from repro.service.store import ResultStore
 
 
@@ -18,6 +21,29 @@ def sweep_spec() -> SweepSpec:
         engines=("batch",),
         trials=2,
         seed=17,
+        max_steps_quadratic=200,
+    )
+
+
+def adaptive_sweep_spec() -> SweepSpec:
+    """Two all-correct cells that stop at 4 trials each (Wilson half-width
+    at p̂=1 is ≈0.329 after 2 trials, ≈0.245 ≤ 0.3 after 4)."""
+    return SweepSpec(
+        name="resume-adaptive-demo",
+        protocols=("circles",),
+        populations=(8, 10),
+        ks=(2,),
+        engines=("batch",),
+        trials="auto",
+        stopping=StoppingRule(
+            metric="correct",
+            proportion=True,
+            target_half_width=0.3,
+            min_trials=2,
+            batch_size=2,
+            max_trials=8,
+        ),
+        seed=23,
         max_steps_quadratic=200,
     )
 
@@ -119,3 +145,54 @@ class TestKillAndResume:
         cached_flags = [cached for _index, _record, cached in events]
         assert cached_flags.count(True) == 3
         assert sorted(index for index, _r, _c in events) == list(range(len(sweep)))
+
+
+class TestAdaptiveKillAndResume:
+    """The sequential-sampling layer composes with the store/manifest
+    checkpointing: a killed adaptive sweep resumes from the checkpointed
+    trial count and finishes bit-identical to an uninterrupted run."""
+
+    def test_resumed_cell_continues_from_checkpointed_trials(self, tmp_path):
+        sweep = adaptive_sweep_spec()
+        reference = SweepRunner().run(sweep)
+        total = len(reference.records)
+        assert total == 8  # 2 cells x 4 trials, well under the 16-trial budget
+
+        # chunk_size=1 with a map-only executor -> a store checkpoint after
+        # every trial; the crash lands mid-way through the first round.
+        store = ResultStore(tmp_path)
+        killed = SweepRunner(store=store, executor=KillAfter(survive=3), chunk_size=1)
+        with pytest.raises(KeyboardInterrupt):
+            killed.run(sweep)
+        assert store.stored == 3
+
+        store2 = ResultStore(tmp_path)
+        counting = CountingExecutor()
+        resumed = SweepRunner(store=store2, executor=counting).run(sweep)
+        # Only the remaining trials ran; the checkpointed prefix was served.
+        assert counting.executed == total - 3
+        assert store2.hits == 3
+        assert resumed.records == reference.records
+        assert resumed.extras["stopping"] == reference.extras["stopping"]
+
+    def test_adaptive_double_resume_executes_nothing(self, tmp_path):
+        sweep = adaptive_sweep_spec()
+        SweepRunner(store=ResultStore(tmp_path)).run(sweep)
+        counting = CountingExecutor()
+        again = SweepRunner(store=ResultStore(tmp_path), executor=counting).run(sweep)
+        assert counting.executed == 0
+        assert again.records == SweepRunner().run(sweep).records
+
+    def test_adaptive_sweep_reuses_fixed_sweep_store_entries(self, tmp_path):
+        """Prefix identity through the store: trials run by a fixed trials=4
+        sweep are the exact entries the auto sweep would execute, so on a
+        shared store the adaptive pass is pure cache hits."""
+        sweep = adaptive_sweep_spec()
+        fixed = dataclasses.replace(sweep, trials=4, stopping=None)
+        SweepRunner(store=ResultStore(tmp_path)).run(fixed)
+
+        store = ResultStore(tmp_path)
+        counting = CountingExecutor()
+        auto = SweepRunner(store=store, executor=counting).run(sweep)
+        assert counting.executed == 0
+        assert store.hits == len(auto.records) == 8
