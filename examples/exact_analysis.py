@@ -13,7 +13,7 @@ Run with:  python examples/exact_analysis.py
 """
 
 from repro import CirclesProtocol, run_circles, run_protocol
-from repro.exact import ConfigurationChain, ExactMarkovEngine
+from repro.exact import ConfigurationChain, ExactMarkovEngine, QuotientChain
 from repro.protocols.cancellation_plurality import CancellationPluralityProtocol
 from repro.simulation.convergence import StableCircles
 
@@ -61,6 +61,30 @@ def main() -> None:
     for outputs, probability in sorted(distribution.items(), key=lambda kv: -kv[1]):
         histogram = ", ".join(f"{count}x color {color}" for color, count in outputs)
         print(f"  P = {probability:.4f}  [{histogram}]")
+
+    # --- Exact analysis at scale: the symmetry quotient -------------------------
+    # On a perfectly tied input the protocol's color symmetries fix the
+    # input, so the chain can be folded by orbits (a strong lumping) and
+    # solved over orbit representatives only.  The engine does this by
+    # default; every reported number keeps unquotiented semantics.
+    tied = [0, 0, 1, 1, 2, 2]
+    quotient = QuotientChain.from_colors(CirclesProtocol(3), tied, arithmetic="exact")
+    print(f"tied input            : {tied} (no majority)")
+    print(f"stabilizer order      : {quotient.stabilizer_order} (cyclic color rotations)")
+    print(
+        f"configurations        : {quotient.num_source_configurations} source, "
+        f"{quotient.num_configurations} orbit representatives solved"
+    )
+    tied_engine = ExactMarkovEngine.from_colors(
+        CirclesProtocol(3), tied, arithmetic="exact"
+    )
+    tied_engine.run(0)
+    tied_result = tied_engine.distribution_result
+    print(
+        f"E[absorption] exact   : {tied_result.expected_interactions_exact} "
+        f"({tied_result.num_classes} stable classes, lifted from "
+        f"{tied_result.num_orbits} orbits)"
+    )
 
 
 if __name__ == "__main__":

@@ -271,6 +271,11 @@ def exact_anchor_value(spec: RunSpec, metric: str) -> float | None:
     the empirical runs sample: other metrics, custom runners, non-uniform
     schedulers, inputs without a unique majority, criteria not almost surely
     reached, and chains past the exact-analysis caps.
+
+    The exact pipeline quotients the chain by the input's color symmetries
+    by default, so the configuration cap counts *orbit representatives*:
+    symmetric (tied) cells whose raw configuration count exceeds the cap
+    can still anchor as long as their quotient fits.
     """
     if metric not in ("correct", "steps"):
         return None

@@ -45,6 +45,7 @@ from repro.exact.chain import (
     ConfigurationChain,
 )
 from repro.exact.engine import ExactMarkovEngine
+from repro.exact.quotient import QuotientChain
 from repro.exact.result import DistributionResult, StableClassSummary
 from repro.exact.solve import DEFAULT_MAX_TRANSIENT, SolveTooLarge
 from repro.protocols.base import PopulationProtocol
@@ -59,6 +60,7 @@ __all__ = [
     "DistributionResult",
     "ExactMarkovEngine",
     "HittingAnalysis",
+    "QuotientChain",
     "SolveTooLarge",
     "StableClassSummary",
     "analyze_absorption",
@@ -77,6 +79,7 @@ def exact_expected_convergence(
     *,
     max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
     max_transient: int | None = DEFAULT_MAX_TRANSIENT,
+    quotient: bool = True,
 ) -> float | None:
     """Exact expected interactions until convergence, or ``None``.
 
@@ -86,13 +89,21 @@ def exact_expected_convergence(
 
     Runs exactly one fundamental-matrix solve (unlike a full
     :class:`ExactMarkovEngine` run, which also produces the absorption half
-    a table cell would discard).
+    a table cell would discard).  ``quotient`` (default on) folds the chain
+    by the input's color-symmetry stabilizer — hitting times of
+    symmetry-invariant criteria are unchanged by the lumping, and both caps
+    then count orbit representatives; criteria with
+    ``symmetry_invariant = False`` fall back to the unquotiented chain.
 
     Raises:
         ChainTooLarge / SolveTooLarge: when the input is too big for exact
             analysis (callers typically degrade to an empty table cell).
     """
-    chain = ConfigurationChain.from_colors(
+    quotient = quotient and (
+        criterion is None or getattr(criterion, "symmetry_invariant", True)
+    )
+    chain_cls = QuotientChain if quotient else ConfigurationChain
+    chain = chain_cls.from_colors(
         protocol, colors, max_configurations=max_configurations
     )
     if criterion is None:
@@ -104,6 +115,7 @@ def exact_expected_convergence(
             protocol, chain.configuration(index)
         ),
         max_transient=max_transient,
+        expectation_only=True,
     )
     if not hit.almost_sure:
         return None

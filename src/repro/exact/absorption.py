@@ -221,7 +221,9 @@ class HittingAnalysis:
             float mode too — a solver result of ``1 - O(ulp)`` cannot flip
             it.
         probability: the probability the chain ever hits the target set
-            (exactly one when ``almost_sure``).
+            (exactly one when ``almost_sure``; ``None`` when the caller asked
+            for ``expectation_only`` and the hit is not almost sure, in which
+            case no system was solved).
         expected_interactions: exact expected interactions until the first
             hit (0 when the initial configuration already satisfies the
             predicate; ``None`` when the hit is not almost sure, where the
@@ -232,7 +234,7 @@ class HittingAnalysis:
 
     target: list[int]
     almost_sure: bool
-    probability: Number
+    probability: Number | None
     expected_interactions: Number | None
     expected_changed_interactions: Number | None
 
@@ -242,6 +244,7 @@ def hitting_analysis(
     predicate: Callable[[int], bool],
     *,
     max_transient: int | None = DEFAULT_MAX_TRANSIENT,
+    expectation_only: bool = False,
 ) -> HittingAnalysis:
     """Exact first-hitting analysis of ``{configurations where predicate holds}``.
 
@@ -249,6 +252,13 @@ def hitting_analysis(
     ``chain.configuration(index)`` to inspect the multiset (e.g. evaluate a
     :class:`~repro.simulation.convergence.ConvergenceCriterion` through
     ``is_converged_configuration``).
+
+    ``expectation_only=True`` skips the linear solve when the structural walk
+    already shows the hit is *not* almost sure (``probability`` comes back
+    ``None``).  The almost-sure verdict and both expectations are unaffected
+    — callers that only render "E[interactions] or ∞" (the E6 exact column)
+    get their answer without paying, or being size-capped by, a solve whose
+    result they would discard.
     """
     exact = chain.arithmetic == "exact"
     zero: Number = Fraction(0) if exact else 0.0
@@ -314,6 +324,14 @@ def hitting_analysis(
                 break
             walked.add(successor)
             walk.append(successor)
+    if expectation_only and not almost_sure:
+        return HittingAnalysis(
+            target=target,
+            almost_sure=False,
+            probability=None,
+            expected_interactions=None,
+            expected_changed_interactions=None,
+        )
     system = sorted(can_reach)
     hit_columns: list[Number] = []
     for index in system:

@@ -68,6 +68,21 @@ def expand_multiset(configuration: Multiset[State]) -> list[State]:
     return states
 
 
+def configuration_rank(
+    configuration: Multiset[State],
+) -> tuple[tuple[str, int], ...]:
+    """A deterministic total order on configurations: sorted (repr, count) pairs.
+
+    The same repr convention as :func:`expand_multiset`.  Exact reports sort
+    stable classes by this rank (not by BFS discovery index, which a
+    quotiented chain cannot reproduce), so class numbering agrees between
+    quotiented and unquotiented analyses of the same input.
+    """
+    return tuple(
+        sorted((repr(state), count) for state, count in configuration.items())
+    )
+
+
 def _validate_arithmetic(arithmetic: str) -> str:
     if arithmetic not in ARITHMETICS:
         raise ValueError(
@@ -125,6 +140,7 @@ class ConfigurationChain(Generic[State]):
         self.rows: list[dict[int, Fraction | float]] = []
         self.change_probability: list[Fraction | float] = []
         self._output_keys: list[tuple[tuple[int, int], ...]] = []
+        self._prepare(configuration)
         self._explore(configuration, max_configurations)
 
     @classmethod
@@ -141,6 +157,21 @@ class ConfigurationChain(Generic[State]):
 
     # -- construction ---------------------------------------------------------
 
+    def _prepare(self, configuration: Multiset[State]) -> None:
+        """Hook run after compilation, before the BFS.
+
+        The base chain needs no preparation; :class:`repro.exact.quotient.QuotientChain`
+        overrides this to derive the symmetry group whose orbits it folds.
+        """
+
+    def _canonical(self, key: ConfigKey) -> ConfigKey:
+        """Map a configuration key to the representative the BFS interns.
+
+        Identity here; the quotient chain overrides it with the orbit-minimal
+        key under the protocol's color-symmetry group.
+        """
+        return key
+
     def _transition(self, initiator: State, responder: State):
         """``δ`` through the compiled table when available."""
         if self.compiled is not None:
@@ -152,6 +183,12 @@ class ConfigurationChain(Generic[State]):
         return result.initiator, result.responder, result.changed
 
     def _intern(self, key: ConfigKey, cap: int) -> int:
+        # Cap-edge contract (pinned by tests/exact/test_chain.py): re-interning
+        # a key that is already present must return its index without ever
+        # consulting the cap — even when exactly ``cap`` configurations are
+        # interned — and a reachable space of exactly ``cap`` configurations
+        # must build successfully.  Only *discovering* configuration ``cap+1``
+        # raises.
         existing = self.index.get(key)
         if existing is not None:
             return existing
@@ -170,7 +207,7 @@ class ConfigurationChain(Generic[State]):
         n = self.num_agents
         denominator = n * (n - 1)
         exact = self.arithmetic == "exact"
-        self._intern(configuration_key(initial), cap)
+        self._intern(self._canonical(configuration_key(initial)), cap)
         # Each index is interned (and enqueued) exactly once, in ascending
         # order, so the BFS processes index i exactly when building row i.
         frontier = deque([0])
@@ -204,7 +241,7 @@ class ConfigurationChain(Generic[State]):
                     successor.remove(responder)
                     successor.add(new_initiator)
                     successor.add(new_responder)
-                    successor_key = configuration_key(successor)
+                    successor_key = self._canonical(configuration_key(successor))
                     successor_index = self.index.get(successor_key)
                     if successor_index is None:
                         successor_index = self._intern(successor_key, cap)
@@ -236,6 +273,40 @@ class ConfigurationChain(Generic[State]):
     def num_configurations(self) -> int:
         """How many distinct configurations are reachable from the input."""
         return len(self.keys)
+
+    # -- lifting (identity here; the quotient chain overrides) -----------------
+
+    @property
+    def num_source_configurations(self) -> int:
+        """Reachable configurations of the *unquotiented* source chain.
+
+        Equal to :attr:`num_configurations` on the base chain; the quotient
+        chain sums its orbit sizes so exact reports keep unquotiented
+        semantics.
+        """
+        return len(self.keys)
+
+    def source_count(self, indices: Iterable[int]) -> int:
+        """How many source configurations a set of chain indices stands for."""
+        return sum(1 for _ in indices)
+
+    def lift_classes(self, members: list[int]) -> list[list[Multiset[State]]]:
+        """The source-chain closed classes one chain class stands for.
+
+        The base chain is its own source chain, so a closed class lifts to
+        itself: a single class.  The quotient chain expands a class of orbit
+        representatives back into the unquotiented closed classes covering
+        it.  Members come back in canonical rank order
+        (:func:`configuration_rank`) on every chain, so class summaries —
+        example configuration included — are identical whether or not the
+        chain was quotiented.
+        """
+        return [
+            sorted(
+                (key_to_multiset(self.keys[member]) for member in members),
+                key=configuration_rank,
+            )
+        ]
 
     def configuration(self, index: int) -> Multiset[State]:
         """The configuration multiset at a chain index."""

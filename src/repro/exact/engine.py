@@ -50,8 +50,10 @@ from repro.exact.absorption import (
 from repro.exact.chain import (
     DEFAULT_MAX_CONFIGURATIONS,
     ConfigurationChain,
+    configuration_rank,
     expand_multiset,
 )
+from repro.exact.quotient import QuotientChain
 from repro.exact.result import (
     DistributionResult,
     StableClassSummary,
@@ -89,6 +91,7 @@ class ExactMarkovEngine(SimulationEngine[State]):
         arithmetic: str = "float",
         max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
         max_transient: int | None = DEFAULT_MAX_TRANSIENT,
+        quotient: bool = True,
     ) -> None:
         self.protocol = protocol
         configuration = initial if isinstance(initial, Multiset) else Multiset(initial)
@@ -100,9 +103,17 @@ class ExactMarkovEngine(SimulationEngine[State]):
         self.arithmetic = arithmetic
         self.max_configurations = max_configurations
         self.max_transient = max_transient
+        #: Fold the chain by the input's color-symmetry stabilizer
+        #: (:class:`~repro.exact.quotient.QuotientChain`).  On by default:
+        #: with a trivial stabilizer the chain is bit-identical to the
+        #: unquotiented one, and with a nontrivial one every reported field
+        #: is lifted back to unquotiented semantics, so results agree
+        #: bit-for-bit in rational mode either way.
+        self.quotient = quotient
         self.steps_taken = 0
         self.interactions_changed = 0
         self._chain: ConfigurationChain[State] | None = None
+        self._plain_chain: ConfigurationChain[State] | None = None
         self._final: Multiset[State] | None = None
         #: The :class:`DistributionResult` of the last ``run`` (None before).
         self.distribution_result: DistributionResult | None = None
@@ -147,9 +158,15 @@ class ExactMarkovEngine(SimulationEngine[State]):
 
     @property
     def chain(self) -> ConfigurationChain[State]:
-        """The underlying configuration chain (built on first use)."""
+        """The underlying configuration chain (built on first use).
+
+        A :class:`~repro.exact.quotient.QuotientChain` when ``quotient`` is
+        enabled; ``max_configurations`` then caps *orbit representatives*,
+        which is what extends the engine's reach on symmetric inputs.
+        """
         if self._chain is None:
-            self._chain = ConfigurationChain(
+            chain_cls = QuotientChain if self.quotient else ConfigurationChain
+            self._chain = chain_cls(
                 self.protocol,
                 self._initial,
                 arithmetic=self.arithmetic,
@@ -157,6 +174,34 @@ class ExactMarkovEngine(SimulationEngine[State]):
                 compiled=self._compiled_flag,
             )
         return self._chain
+
+    def _chain_for(
+        self, criterion: ConvergenceCriterion[State] | None
+    ) -> ConfigurationChain[State]:
+        """The chain a run with ``criterion`` must solve.
+
+        A criterion that can distinguish configurations within a symmetry
+        orbit (``symmetry_invariant = False``) cannot be evaluated on orbit
+        representatives; such runs fall back to the unquotiented chain
+        (built lazily and cached separately, so criterion-free runs keep the
+        quotient's reach).
+        """
+        chain = self.chain
+        if (
+            criterion is not None
+            and not getattr(criterion, "symmetry_invariant", True)
+            and getattr(chain, "is_quotiented", False)
+        ):
+            if self._plain_chain is None:
+                self._plain_chain = ConfigurationChain(
+                    self.protocol,
+                    self._initial,
+                    arithmetic=self.arithmetic,
+                    max_configurations=self.max_configurations,
+                    compiled=self._compiled_flag,
+                )
+            return self._plain_chain
+        return chain
 
     def _advance(self, max_interactions: int) -> int:  # pragma: no cover - unreachable
         raise RuntimeError(
@@ -194,7 +239,7 @@ class ExactMarkovEngine(SimulationEngine[State]):
             class almost surely).
         """
         self._validate_run_arguments(max_steps, check_interval)
-        chain = self.chain
+        chain = self._chain_for(criterion)
         absorption = analyze_absorption(chain, max_transient=self.max_transient)
         hitting: HittingAnalysis | None = None
         if criterion is not None:
@@ -206,8 +251,11 @@ class ExactMarkovEngine(SimulationEngine[State]):
                 ),
                 max_transient=self.max_transient,
             )
-        self.distribution_result = self._build_result(chain, absorption, hitting, criterion)
-        self._final = self._modal_outcome(chain, absorption)
+        lifted = self._lifted_classes(chain, absorption)
+        self.distribution_result = self._build_result(
+            chain, absorption, hitting, criterion, lifted
+        )
+        self._final = self._modal_outcome(lifted)
         if hitting is not None:
             converged = hitting.almost_sure
             if converged:
@@ -226,16 +274,39 @@ class ExactMarkovEngine(SimulationEngine[State]):
             )
         return self._finish(converged)
 
-    def _modal_outcome(
+    def _lifted_classes(
         self, chain: ConfigurationChain[State], absorption: AbsorptionAnalysis
+    ) -> list[tuple[Fraction | float, list[Multiset[State]]]]:
+        """``(probability, configurations)`` per *source-chain* stable class.
+
+        On a quotiented chain each closed class stands for an orbit of
+        source-chain classes, entered with equal probability (the stabilizer
+        preserves the trajectory measure); the lumped probability splits
+        evenly across the lift.  On the base chain this is the identity.
+        Classes come back in canonical rank order of their smallest member —
+        an order both chains can produce (BFS discovery order cannot survive
+        the quotient), so quotiented and unquotiented reports are identical
+        class for class, modal tie-breaks included.
+        """
+        lifted: list[tuple[Fraction | float, list[Multiset[State]]]] = []
+        for class_index, members in enumerate(absorption.classes):
+            probability = absorption.class_probabilities[class_index]
+            source_classes = chain.lift_classes(members)
+            share = probability / len(source_classes)
+            for configurations in source_classes:
+                lifted.append((share, configurations))
+        lifted.sort(key=lambda entry: configuration_rank(entry[1][0]))
+        return lifted
+
+    def _modal_outcome(
+        self, lifted: list[tuple[Fraction | float, list[Multiset[State]]]]
     ) -> Multiset[State]:
         """A representative configuration of the most probable stable class."""
         best = max(
-            range(len(absorption.classes)),
-            key=lambda i: (absorption.class_probabilities[i], -i),
+            range(len(lifted)),
+            key=lambda i: (lifted[i][0], -i),
         )
-        representative = absorption.classes[best][0]
-        return chain.configuration(representative)
+        return lifted[best][1][0].copy()
 
     def _build_result(
         self,
@@ -243,6 +314,7 @@ class ExactMarkovEngine(SimulationEngine[State]):
         absorption: AbsorptionAnalysis,
         hitting: HittingAnalysis | None,
         criterion: ConvergenceCriterion[State] | None,
+        lifted: list[tuple[Fraction | float, list[Multiset[State]]]],
     ) -> DistributionResult:
         protocol = self.protocol
         colors = self._input_colors()
@@ -253,13 +325,12 @@ class ExactMarkovEngine(SimulationEngine[State]):
         )
         classes: list[StableClassSummary] = []
         correctness: Fraction | float | None = None
-        for class_index, members in enumerate(absorption.classes):
-            probability = absorption.class_probabilities[class_index]
-            unanimous = self._unanimous_output(chain, members)
+        for class_index, (probability, configurations) in enumerate(lifted):
+            unanimous = self._unanimous_output(configurations)
             correct = None if majority is None else unanimous == majority
             if correct:
                 correctness = probability if correctness is None else correctness + probability
-            example_config = chain.configuration(members[0])
+            example_config = configurations[0]
             example = [
                 [repr(state), count]
                 for state, count in sorted(
@@ -269,7 +340,7 @@ class ExactMarkovEngine(SimulationEngine[State]):
             classes.append(
                 StableClassSummary(
                     index=class_index,
-                    size=len(members),
+                    size=len(configurations),
                     probability=as_probability(probability),
                     probability_exact=rational_string(probability),
                     unanimous_output=unanimous,
@@ -285,14 +356,16 @@ class ExactMarkovEngine(SimulationEngine[State]):
             # correctness probability is exactly one — don't let float-mode
             # solver rounding (1 - O(ulp)) blur an almost-sure verdict.
             correctness = Fraction(1) if chain.arithmetic == "exact" else 1.0
+        quotiented = bool(getattr(chain, "is_quotiented", False))
         return DistributionResult(
             protocol_name=protocol.name,
             num_agents=self._num_agents,
             num_colors=protocol.num_colors,
             arithmetic=chain.arithmetic,
-            num_configurations=chain.num_configurations,
-            num_transient=len(absorption.transient),
-            num_classes=absorption.num_classes,
+            num_configurations=chain.num_source_configurations,
+            num_transient=chain.source_count(absorption.transient),
+            num_classes=len(classes),
+            num_orbits=chain.num_configurations if quotiented else None,
             majority=majority,
             correctness_probability=as_probability(correctness),
             correctness_probability_exact=rational_string(correctness),
@@ -315,13 +388,13 @@ class ExactMarkovEngine(SimulationEngine[State]):
         )
 
     def _unanimous_output(
-        self, chain: ConfigurationChain[State], members: list[int]
+        self, configurations: list[Multiset[State]]
     ) -> int | None:
         """The single output color all agents report across a whole class."""
         common: int | None = None
         output = self.protocol.output
-        for member in members:
-            for state in chain.configuration(member).support():
+        for configuration in configurations:
+            for state in configuration.support():
                 color = output(state)
                 if common is None:
                     common = color

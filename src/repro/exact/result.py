@@ -50,7 +50,10 @@ class StableClassSummary:
     """One closed (stable) class of the configuration chain.
 
     Attributes:
-        index: deterministic class index (ordered by smallest configuration).
+        index: deterministic class index — classes are ordered by the
+            canonical rank of their smallest configuration (sorted
+            ``(state repr, count)`` pairs), an order that is identical for
+            quotiented and unquotiented analyses of the same input.
         size: how many configurations the class contains.
         probability: exact absorption probability into this class.
         probability_exact: the same as a rational string (exact mode only).
@@ -109,6 +112,14 @@ class DistributionResult:
     #: (``None`` when that event is not almost sure).
     expected_interactions_to_criterion: float | None = None
     expected_changed_to_criterion: float | None = None
+    #: How many orbit representatives the symmetry-quotiented chain solved
+    #: (``None`` when the chain was not quotiented).  Every other field keeps
+    #: *unquotiented* semantics — ``num_configurations``, ``num_transient``
+    #: and the per-class probabilities are lifted back to the source chain,
+    #: so quotiented and unquotiented runs of the same input agree
+    #: bit-for-bit in rational mode; this field is the only trace of the
+    #: quotient and is excluded from identity comparisons.
+    num_orbits: int | None = None
     classes: list[StableClassSummary] = field(default_factory=list)
 
     def __post_init__(self) -> None:

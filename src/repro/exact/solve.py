@@ -6,20 +6,29 @@ interactions — is the solution of one linear system ``(I - Q)·x = b`` over
 the transient (or non-target) configurations, with a handful of right-hand
 sides sharing the same matrix (the classic fundamental-matrix solve).
 
-Two backends:
+Three backends:
 
+* **scipy sparse LU** (float mode, when importable) — ``(I - Q)`` is sparse
+  (a configuration has ``O(d²)`` successors, not ``O(size)``), so past the
+  dense cap the system goes through ``scipy.sparse.linalg.splu``; this is
+  what lets fundamental-matrix solves keep up with the symmetry-quotiented
+  chains (:mod:`repro.exact.quotient`), which reach transient sets far
+  beyond the dense range.  Engaged only *above* :data:`DEFAULT_MAX_TRANSIENT`
+  so every result in the dense range stays bit-identical to the numpy path;
 * **numpy** (float mode, when importable) — one ``numpy.linalg.solve`` call
   with all right-hand sides stacked, the fast path for the experiment
   columns;
-* **pure python** — Gaussian elimination with partial pivoting, shared by
-  the exact-rational mode (``fractions.Fraction`` rows stay ``Fraction``
-  throughout, so golden results are exact) and by float mode on machines
-  without numpy.
+* **pure python** — Gaussian elimination, shared by the exact-rational mode
+  (``fractions.Fraction`` rows stay ``Fraction`` throughout, so golden
+  results are exact) and by float mode on machines without numpy.  Float
+  elimination pivots on the max-magnitude column entry (partial pivoting —
+  near-singular transient blocks amplify roundoff under naive pivoting);
+  rational elimination takes the first nonzero pivot, which is exact and
+  skips ``Fraction`` magnitude comparisons.
 
 Systems here are diagonally dominated by construction (rows of ``Q`` are
-substochastic), so partial pivoting is ample; matrices are dense once
-restricted to the transient set, which bounds the practical size — callers
-cap it (:data:`DEFAULT_MAX_TRANSIENT`) and degrade gracefully.
+substochastic), so partial pivoting is ample; callers cap the system size
+(:func:`practical_max_transient` is backend-aware) and degrade gracefully.
 """
 
 from __future__ import annotations
@@ -30,8 +39,17 @@ from fractions import Fraction
 #: Guard on the dense ``(I - Q)`` solve: cubic cost makes larger systems
 #: impractical, especially on the pure-python backend.  Callers that can
 #: degrade (the E6 exact column) treat a larger transient set like a
-#: too-large chain.
+#: too-large chain.  Also the crossover point past which float solves route
+#: through sparse LU when scipy is importable.
 DEFAULT_MAX_TRANSIENT = 1500
+
+#: The cap with scipy's sparse LU available: ``(I - Q)`` factorizations stay
+#: interactive well past the dense range (the quotiented circles chains that
+#: motivate it run ~10⁴ transient configurations in seconds).
+SPARSE_MAX_TRANSIENT = 12000
+
+#: The pure-python cap: cubic interpreted ``float`` elimination.
+PURE_PYTHON_MAX_TRANSIENT = 300
 
 
 class SolveTooLarge(RuntimeError):
@@ -46,25 +64,46 @@ def _numpy():
     return numpy
 
 
-def practical_max_transient() -> int:
-    """A dense-solve cap matched to the available backend.
+def _scipy_splu():
+    """``scipy.sparse.linalg.splu`` plus the csc constructor, or ``None``."""
+    try:
+        from scipy.sparse import csc_matrix
+        from scipy.sparse.linalg import splu
+    except ImportError:  # pragma: no cover - exercised on scipy-less CI only
+        return None
+    return csc_matrix, splu
 
-    The numpy solve handles :data:`DEFAULT_MAX_TRANSIENT` comfortably; the
-    pure-python elimination is cubic interpreted code, so opportunistic
-    callers (the E6 exact column) cap much lower without numpy and render
-    "—" instead of stalling.
+
+def practical_max_transient() -> int:
+    """A float-solve cap matched to the best available backend, three ways.
+
+    scipy's sparse LU pushes the cap to :data:`SPARSE_MAX_TRANSIENT`; plain
+    numpy handles :data:`DEFAULT_MAX_TRANSIENT` densely; the pure-python
+    elimination is cubic interpreted code, so opportunistic callers (the E6
+    exact column) cap at :data:`PURE_PYTHON_MAX_TRANSIENT` and render "—"
+    instead of stalling.
     """
-    return DEFAULT_MAX_TRANSIENT if _numpy() is not None else 300
+    if _numpy() is None:
+        return PURE_PYTHON_MAX_TRANSIENT
+    if _scipy_splu() is None:
+        return DEFAULT_MAX_TRANSIENT
+    return SPARSE_MAX_TRANSIENT
 
 
 def gaussian_solve(
     matrix: list[list[Fraction | float]],
     rhs_columns: list[list[Fraction | float]],
+    *,
+    exact: bool = False,
 ) -> list[list[Fraction | float]]:
     """Solve ``matrix · x = b`` for every column in ``rhs_columns``.
 
-    Plain Gaussian elimination with partial pivoting, in place on copies.
-    Works over ``Fraction`` (exactly) and ``float`` alike.
+    Plain Gaussian elimination, in place on copies.  Pivot selection is
+    mode-dependent: float mode (``exact=False``) takes the max-magnitude
+    entry of the column — partial pivoting, which keeps near-singular
+    transient blocks from amplifying roundoff; rational mode takes the first
+    nonzero entry, which is exact over ``Fraction`` and skips the magnitude
+    comparisons (``abs`` on ``Fraction`` allocates).
 
     Raises:
         ZeroDivisionError: when the matrix is singular (callers prevent this
@@ -75,7 +114,12 @@ def gaussian_solve(
     a = [list(row) for row in matrix]
     b = [list(column) for column in rhs_columns]
     for pivot_row in range(size):
-        pivot = max(range(pivot_row, size), key=lambda r: abs(a[r][pivot_row]))
+        if exact:
+            pivot = next(
+                (r for r in range(pivot_row, size) if a[r][pivot_row]), pivot_row
+            )
+        else:
+            pivot = max(range(pivot_row, size), key=lambda r: abs(a[r][pivot_row]))
         if pivot != pivot_row:
             a[pivot_row], a[pivot] = a[pivot], a[pivot_row]
             for column in b:
@@ -213,6 +257,44 @@ def solve_transient_systems(
     one: Fraction | float = Fraction(1) if exact else 1.0
     numpy = None if exact else _numpy()
     if numpy is not None:
+        b = numpy.array(
+            [[float(value) for value in column] for column in rhs_columns],
+            dtype=numpy.float64,
+        ).T
+        # Past the dense range, factor sparsely: the dense path would need
+        # O(size²) memory and O(size³) time where (I - Q) has only O(size·d²)
+        # nonzeros.  The crossover sits exactly at the dense cap so every
+        # result a dense solve used to produce is still produced by it,
+        # bit for bit.
+        sparse = _scipy_splu() if size > DEFAULT_MAX_TRANSIENT else None
+        if sparse is not None:
+            csc_matrix, splu = sparse
+            entry_rows: list[int] = []
+            entry_cols: list[int] = []
+            entries: list[float] = []
+            for i, global_index in enumerate(transient):
+                diagonal = 1.0
+                for target, probability in rows[global_index].items():
+                    j = local.get(target)
+                    if j is None:
+                        continue
+                    if j == i:
+                        diagonal -= float(probability)
+                    else:
+                        entry_rows.append(i)
+                        entry_cols.append(j)
+                        entries.append(-float(probability))
+                entry_rows.append(i)
+                entry_cols.append(i)
+                entries.append(diagonal)
+            a_sparse = csc_matrix(
+                (entries, (entry_rows, entry_cols)), shape=(size, size)
+            )
+            solved = splu(a_sparse).solve(b)
+            return [
+                [float(solved[i, c]) for i in range(size)]
+                for c in range(len(rhs_columns))
+            ]
         a = numpy.zeros((size, size), dtype=numpy.float64)
         for i, global_index in enumerate(transient):
             a[i, i] = 1.0
@@ -220,10 +302,6 @@ def solve_transient_systems(
                 j = local.get(target)
                 if j is not None:
                     a[i, j] -= float(probability)
-        b = numpy.array(
-            [[float(value) for value in column] for column in rhs_columns],
-            dtype=numpy.float64,
-        ).T
         solved = numpy.linalg.solve(a, b)
         return [[float(solved[i, c]) for i in range(size)] for c in range(len(rhs_columns))]
     matrix = []
@@ -235,4 +313,4 @@ def solve_transient_systems(
             if j is not None:
                 row[j] -= probability
         matrix.append(row)
-    return gaussian_solve(matrix, [list(column) for column in rhs_columns])
+    return gaussian_solve(matrix, [list(column) for column in rhs_columns], exact=exact)

@@ -39,7 +39,7 @@ from repro.api.stopping import StoppingRule
 from repro.core.circles import CirclesProtocol
 from repro.exact import ChainTooLarge, SolveTooLarge, exact_correctness_probability
 from repro.exact.solve import practical_max_transient
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import EXACT_INFEASIBLE, ExperimentResult
 
 
 def model_check_rows(inputs: Iterable[tuple[int, ...]]) -> list[tuple[object, ...]]:
@@ -68,7 +68,7 @@ def model_check_rows(inputs: Iterable[tuple[int, ...]]) -> list[tuple[object, ..
                 f"{list(colors)}",
                 k,
                 verdict.num_configurations,
-                f"{probability:.6f}" if probability is not None else "—",
+                f"{probability:.6f}" if probability is not None else EXACT_INFEASIBLE,
                 verdict.verified,
             )
         )
@@ -157,7 +157,7 @@ def empirical_rows(
                 f"n={num_agents}, k={num_colors}, trials={len(records)}",
                 num_colors,
                 converged,
-                "—",
+                EXACT_INFEASIBLE,
                 correct == len(records),
             )
         )

@@ -56,21 +56,31 @@ from repro.exact import ChainTooLarge, SolveTooLarge, exact_expected_convergence
 from repro.exact.solve import practical_max_transient
 from repro.protocols.registry import get_protocol
 from repro.simulation.convergence import OutputConsensus, StableCircles
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import (
+    EXACT_INFEASIBLE,
+    EXACT_NOT_ALMOST_SURE,
+    ExperimentResult,
+)
 
 #: Configuration-space cap for the exact column (keeps the enumeration cheap
 #: even for protocols whose δ-closure does not compile, e.g. tournament at
-#: k ≥ 4 — those rows degrade to "—").
+#: k ≥ 4 — those rows degrade to the infeasible sentinel).  With the
+#: symmetry quotient on by default the cap counts *orbit representatives*,
+#: so symmetric inputs reach populations their raw configuration count would
+#: have ruled out.
 EXACT_MAX_CONFIGURATIONS = 4_000
 
 
 def exact_expected_cell(protocol_name: str, k: int, colors: list[int]) -> str:
-    """The exact-column cell for one sweep point, or "—" when infeasible.
+    """The exact-column cell for one sweep point, or a sentinel.
 
     Uses the same stopping criterion the empirical runs measured
     (:class:`StableCircles` for Circles via ``run_circles``,
     :class:`OutputConsensus` otherwise) so the column is directly comparable
-    to the empirical mean next to it.
+    to the empirical mean next to it.  :data:`EXACT_INFEASIBLE` marks cells
+    whose chain or solve exceeds a cap; :data:`EXACT_NOT_ALMOST_SURE` marks
+    cells the analysis *solved* and proved the criterion is not almost
+    surely reached — the two must stay distinguishable.
     """
     protocol = get_protocol(protocol_name, k)
     criterion = StableCircles() if protocol_name == "circles" else OutputConsensus()
@@ -83,9 +93,9 @@ def exact_expected_cell(protocol_name: str, k: int, colors: list[int]) -> str:
             max_transient=practical_max_transient(),
         )
     except (ChainTooLarge, SolveTooLarge):
-        return "—"
+        return EXACT_INFEASIBLE
     if expected is None:  # criterion not almost surely reached
-        return "∞"
+        return EXACT_NOT_ALMOST_SURE
     return f"{expected:.1f}"
 
 
@@ -167,7 +177,7 @@ def run(
     adversarial: bool = True,
     engine: str = "batch",
     workers: int | None = None,
-    exact_max_n: int = 8,
+    exact_max_n: int = 12,
     store=None,
     stopping: StoppingRule | None = None,
 ) -> ExperimentResult:
@@ -194,7 +204,11 @@ def run(
         exact_max_n: populations up to this size get the analytical
             "exact E[interactions]" column (the expected first-hitting time
             of the stopping criterion in the exact configuration chain,
-            :mod:`repro.exact`); larger rows show "—".
+            :mod:`repro.exact`); larger rows show the infeasible sentinel.
+            The default of 12 relies on the engine's symmetry quotient:
+            the chain is built over orbit representatives, so symmetric
+            inputs stay inside the configuration cap well past the old
+            unquotiented ceiling of 8.
         store: optional :class:`repro.service.store.ResultStore` — table
             regeneration becomes incremental, re-simulating only the sweep
             points not already in the store.
@@ -238,7 +252,7 @@ def run(
                 colors = resolve_workload(specs_by_point[point])
                 exact_cell = exact_expected_cell(row["protocol"], row["k"], colors)
             else:
-                exact_cell = "—"
+                exact_cell = EXACT_INFEASIBLE
             stop_entry = stop_by_point.get(point)
             if stop_entry is not None:
                 trials_cell = f"{stop_entry['trials']} ({stop_entry['reason']})"
@@ -285,9 +299,10 @@ def run(
     )
     result.add_note(
         f"'exact E[interactions]' (n ≤ {exact_max_n}) is the analytical expected "
-        "first-hitting time of the same criterion in the exact configuration chain "
-        "(repro.exact), on the same workload colors; '—' marks rows whose chain or "
-        "fundamental-matrix solve exceeds the exact-analysis caps, '∞' criteria that "
+        "first-hitting time of the same criterion in the symmetry-quotiented exact "
+        "configuration chain (repro.exact), on the same workload colors; "
+        f"{EXACT_INFEASIBLE!r} marks rows whose chain or fundamental-matrix solve "
+        f"exceeds the exact-analysis caps, {EXACT_NOT_ALMOST_SURE!r} criteria that "
         "are not almost surely reached."
     )
     return result

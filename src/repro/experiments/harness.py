@@ -14,6 +14,16 @@ from typing import Any
 
 from repro.utils.tables import format_markdown_table, format_table
 
+#: Sentinels for the experiments' exact-analysis columns, shared so every
+#: table renders the two *different* situations the same way:
+#: :data:`EXACT_INFEASIBLE` — the exact analysis could not run (the chain or
+#: the fundamental-matrix solve exceeded its cap, or the cell is outside the
+#: exact column's population range); :data:`EXACT_NOT_ALMOST_SURE` — the
+#: analysis *did* run and proved the awaited event has probability < 1, so
+#: no finite expectation exists.  "—" must never mean "∞" or vice versa.
+EXACT_INFEASIBLE = "—"
+EXACT_NOT_ALMOST_SURE = "∞"
+
 
 @dataclass
 class ExperimentResult:

@@ -59,6 +59,16 @@ class ConvergenceCriterion(abc.ABC, Generic[State]):
 
     name: str = "criterion"
 
+    #: Whether the verdict is constant on color-symmetry orbits — i.e. the
+    #: criterion cannot distinguish configurations related by a certified
+    #: color permutation (:mod:`repro.verify.symmetry`).  The quotiented
+    #: exact chain (:class:`repro.exact.quotient.QuotientChain`) evaluates
+    #: criteria on orbit representatives, which is only sound under this
+    #: flag; the exact engine falls back to the unquotiented chain when a
+    #: criterion clears it (e.g. ``OutputConsensus(target=...)``, which names
+    #: a specific color).
+    symmetry_invariant: bool = True
+
     @abc.abstractmethod
     def is_converged(
         self, protocol: PopulationProtocol[State], states: Sequence[State]
@@ -91,6 +101,9 @@ class OutputConsensus(ConvergenceCriterion[State]):
 
     def __init__(self, target: int | None = None) -> None:
         self.target = target
+        # Naming a color breaks orbit-invariance: σ can map a target-colored
+        # consensus to a consensus on another color.
+        self.symmetry_invariant = target is None
 
     def is_converged(
         self, protocol: PopulationProtocol[State], states: Sequence[State]

@@ -38,6 +38,10 @@ DEFAULT_MAX_SYMMETRY_COLORS = 5
 #: table's signature cache so sweeps and test matrices search once.
 _SYMMETRY_CACHE: dict[tuple, "SymmetryCertificate"] = {}
 
+#: Same keying as :data:`_SYMMETRY_CACHE`, for the state-level actions the
+#: quotient chain consumes (certificate + one σ per permutation).
+_ACTION_CACHE: dict[tuple, "SymmetryActions"] = {}
+
 
 @dataclass(frozen=True)
 class SymmetryCertificate:
@@ -61,6 +65,31 @@ class SymmetryCertificate:
     @property
     def is_trivial(self) -> bool:
         return self.order == 1
+
+
+@dataclass(frozen=True)
+class SymmetryAction:
+    """One symmetry with its state-level realization on the compiled table.
+
+    ``state_map[code]`` is the compiled code of ``σ(state)``; the map is the
+    *unique* δ-equivariant bijection realizing ``color_permutation`` (see the
+    module docstring), so actions compose exactly as the permutations do.
+    """
+
+    color_permutation: tuple[int, ...]
+    state_map: tuple[int, ...]
+
+    @property
+    def is_identity(self) -> bool:
+        return all(i == c for i, c in enumerate(self.color_permutation))
+
+
+@dataclass(frozen=True)
+class SymmetryActions:
+    """The full symmetry group with state-level actions, plus its certificate."""
+
+    certificate: SymmetryCertificate
+    actions: tuple[SymmetryAction, ...]
 
 
 def _state_bijection(
@@ -197,3 +226,41 @@ def color_symmetries(
     if cache_key is not None:
         _SYMMETRY_CACHE[cache_key] = certificate
     return certificate
+
+
+def symmetry_actions(
+    compiled: "CompiledProtocol",
+    max_colors: int = DEFAULT_MAX_SYMMETRY_COLORS,
+) -> SymmetryActions:
+    """The symmetry group with its state-level σ maps, cached like the certificate.
+
+    The consumer is :class:`repro.exact.quotient.QuotientChain`, which folds
+    configuration space by (a subgroup of) these actions; caching per
+    ``compile_signature()`` means a sweep over many populations of one
+    protocol pays for the σ search once.
+    """
+    signature = compiled.protocol.compile_signature()
+    cache_key = None
+    if signature is not None:
+        cache_key = (signature, compiled.states)
+        cached = _ACTION_CACHE.get(cache_key)
+        if cached is not None and cached.certificate.searched:
+            return cached
+
+    certificate = color_symmetries(compiled, max_colors)
+    identity_map = tuple(range(compiled.num_states))
+    actions: list[SymmetryAction] = []
+    for perm in certificate.permutations:
+        if all(i == c for i, c in enumerate(perm)):
+            actions.append(SymmetryAction(perm, identity_map))
+            continue
+        sigma = _state_bijection(compiled, perm)
+        if sigma is None:  # pragma: no cover - certified perms always realize
+            raise RuntimeError(f"certified symmetry {perm} lost its state bijection")
+        actions.append(
+            SymmetryAction(perm, tuple(sigma[code] for code in range(compiled.num_states)))
+        )
+    result = SymmetryActions(certificate, tuple(actions))
+    if cache_key is not None and certificate.searched:
+        _ACTION_CACHE[cache_key] = result
+    return result

@@ -57,6 +57,41 @@ class TestConstruction:
                 CirclesProtocol(3), (0, 1, 1, 2, 2, 2), max_configurations=10
             )
 
+    def test_reachable_space_of_exactly_the_cap_succeeds(self):
+        # Cap-edge regression: the guard must only fire on configuration
+        # cap+1, so a space of exactly ``cap`` states builds — even though
+        # the BFS keeps re-encountering (re-interning) existing keys after
+        # the cap is reached.
+        probe = ConfigurationChain.from_colors(CirclesProtocol(2), (0, 0, 0, 1, 1))
+        chain = ConfigurationChain.from_colors(
+            CirclesProtocol(2),
+            (0, 0, 0, 1, 1),
+            max_configurations=probe.num_configurations,
+        )
+        assert chain.num_configurations == probe.num_configurations
+        assert chain.rows == probe.rows
+
+    def test_one_below_the_reachable_count_raises(self):
+        probe = ConfigurationChain.from_colors(CirclesProtocol(2), (0, 0, 0, 1, 1))
+        with pytest.raises(ChainTooLarge):
+            ConfigurationChain.from_colors(
+                CirclesProtocol(2),
+                (0, 0, 0, 1, 1),
+                max_configurations=probe.num_configurations - 1,
+            )
+
+    def test_reinterning_a_present_key_at_the_cap_returns_its_index(self):
+        probe = ConfigurationChain.from_colors(CirclesProtocol(2), (0, 0, 1))
+        cap = probe.num_configurations
+        chain = ConfigurationChain.from_colors(
+            CirclesProtocol(2), (0, 0, 1), max_configurations=cap
+        )
+        # The chain is full: every key is interned.  Re-interning any of
+        # them must return the existing index, never consult the cap.
+        for index, key in enumerate(chain.keys):
+            assert chain._intern(key, cap) == index
+        assert chain.num_configurations == cap
+
     def test_too_small_population_rejected(self):
         with pytest.raises(ValueError, match="two agents"):
             ConfigurationChain.from_colors(CirclesProtocol(2), (0,))

@@ -28,7 +28,7 @@ from pathlib import Path
 import pytest
 
 import repro  # noqa: F401  (populates the default protocol registry)
-from repro.exact import ConfigurationChain
+from repro.exact import ConfigurationChain, QuotientChain
 from repro.exact.golden import GOLDEN_CASES, case_criterion, case_filename, golden_payload
 from repro.protocols.registry import DEFAULT_REGISTRY
 from repro.scheduling.random_uniform import UniformRandomScheduler
@@ -87,6 +87,44 @@ def test_engine_matches_the_exact_distribution(
     statistic, critical = one_sample_chi_squared(observed, exact, TRIALS)
     assert statistic < critical, (
         f"{protocol_name}: engine {engine_name!r} disagrees with the exact "
+        f"distribution (chi-squared {statistic:.1f} > {critical:.1f})"
+    )
+
+
+#: A perfectly tied input: on circles its quotient chain folds a nontrivial
+#: stabilizer, so the lifted exact distribution is genuinely reconstructed
+#: from orbit representatives rather than computed directly.
+TIE_COLORS = [0, 0, 1, 1]
+
+
+@pytest.mark.parametrize("engine_name", stochastic_engines())
+def test_engines_match_the_quotiented_exact_distribution(
+    engine_name, make_registry_protocol, one_sample_chi_squared
+):
+    """The quotient chain's *lifted* distribution is what the samplers sample.
+
+    Same chi-squared design as the matrix above, but the ground truth comes
+    from :class:`QuotientChain` on a tied input — conformance coverage for
+    the orbit lift itself, not just the lumped chain.
+    """
+    protocol = make_registry_protocol("circles")
+    chain = QuotientChain.from_colors(protocol, TIE_COLORS)
+    assert chain.is_quotiented
+    exact = chain.output_distribution_after(HORIZON)
+    assert math.isclose(sum(exact.values()), 1.0, abs_tol=1e-9)
+
+    observed: dict = {}
+    for trial in range(TRIALS):
+        simulation = build_engine(
+            ENGINES[engine_name], protocol, TIE_COLORS, seed=90_000 + trial
+        )
+        simulation.run(HORIZON)
+        key = tuple(sorted(simulation.output_counts().items()))
+        observed[key] = observed.get(key, 0) + 1
+
+    statistic, critical = one_sample_chi_squared(observed, exact, TRIALS)
+    assert statistic < critical, (
+        f"engine {engine_name!r} disagrees with the quotient-lifted exact "
         f"distribution (chi-squared {statistic:.1f} > {critical:.1f})"
     )
 
